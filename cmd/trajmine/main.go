@@ -1,0 +1,60 @@
+// Command trajmine mines the top-k trajectory patterns by normalized match
+// from a JSON-lines trajectory file (see trajgen) and presents them as
+// pattern groups.
+//
+// Usage:
+//
+//	trajmine -in zebra.jsonl -k 20 -gridn 12
+//	trajmine -in bus.jsonl -k 50 -minlen 4 -measure match
+//	trajmine -in zebra.jsonl -viz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trajpattern/internal/cli"
+	"trajpattern/internal/traj"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input trajectory file (required)")
+		k       = flag.Int("k", 10, "number of patterns to mine")
+		gridN   = flag.Int("gridn", 12, "grid side (G = gridn²)")
+		minLen  = flag.Int("minlen", 1, "minimum pattern length (§5 variant)")
+		maxLen  = flag.Int("maxlen", 8, "maximum pattern length")
+		deltaMu = flag.Float64("delta", 1, "indifferent threshold δ as a multiple of the cell size")
+		measure = flag.String("measure", "nm", "measure: nm (TrajPattern), pb (projection baseline) or match ([14])")
+		groups  = flag.Bool("groups", true, "cluster the result into pattern groups")
+		viz     = flag.Bool("viz", false, "render ASCII heatmap of the data and the best pattern")
+		save    = flag.String("savepats", "", "persist scored patterns to this JSON file")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "trajmine: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, err := traj.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trajmine: %v\n", err)
+		os.Exit(1)
+	}
+	_, err = cli.Mine(os.Stdout, ds, cli.MineOptions{
+		K:        *k,
+		GridN:    *gridN,
+		MinLen:   *minLen,
+		MaxLen:   *maxLen,
+		DeltaMul: *deltaMu,
+		Measure:  *measure,
+		Groups:   *groups,
+		Viz:      *viz,
+		SavePath: *save,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trajmine: %v\n", err)
+		os.Exit(1)
+	}
+}

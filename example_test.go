@@ -1,0 +1,132 @@
+package trajpattern_test
+
+import (
+	"fmt"
+
+	"trajpattern"
+)
+
+// ExampleMine mines the dominant movement pattern from three trajectories
+// that repeat the same two-cell hop.
+func ExampleMine() {
+	g := trajpattern.NewSquareGrid(4)
+	a, b := g.CenterAt(5), g.CenterAt(6) // two adjacent cells
+
+	var ds trajpattern.Dataset
+	for i := 0; i < 3; i++ {
+		var tr trajpattern.Trajectory
+		for rep := 0; rep < 4; rep++ {
+			tr = append(tr,
+				trajpattern.TrajPoint{Mean: a, Sigma: 0.03},
+				trajpattern.TrajPoint{Mean: b, Sigma: 0.03},
+			)
+		}
+		ds = append(ds, tr)
+	}
+
+	scorer, err := trajpattern.NewScorer(ds, trajpattern.ScorerConfig{
+		Grid:  g,
+		Delta: g.CellWidth(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := trajpattern.Mine(scorer, trajpattern.MinerConfig{
+		K: 1, MinLen: 2, MaxLen: 4, MaxLowQ: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Patterns[0].Pattern.Key())
+	// Output: 5,6
+}
+
+// ExampleSynchronize shows the §3.2 snapshot synchronization: two
+// asynchronous reports dead-reckoned onto a regular schedule.
+func ExampleSynchronize() {
+	reports := []trajpattern.Report{
+		{Time: 0, Loc: trajpattern.Pt(0, 0)},
+		{Time: 2, Loc: trajpattern.Pt(2, 0)}, // velocity (1, 0)
+	}
+	tr, err := trajpattern.Synchronize(reports, trajpattern.SyncConfig{
+		Start: 0, Interval: 1, Count: 4, U: 0.2, C: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range tr {
+		fmt.Printf("%.0f,%.0f σ=%.1f\n", p.Mean.X, p.Mean.Y, p.Sigma)
+	}
+	// Output:
+	// 0,0 σ=0.1
+	// 0,0 σ=0.1
+	// 2,0 σ=0.1
+	// 3,0 σ=0.1
+}
+
+// ExampleDiscoverGroups compresses three nearly identical patterns into
+// one pattern group (Definition 2).
+func ExampleDiscoverGroups() {
+	g := trajpattern.NewSquareGrid(10)
+	patterns := []trajpattern.Pattern{
+		{g.IndexOf(trajpattern.Pt(0.15, 0.15)), g.IndexOf(trajpattern.Pt(0.25, 0.15))},
+		{g.IndexOf(trajpattern.Pt(0.15, 0.25)), g.IndexOf(trajpattern.Pt(0.25, 0.25))},
+		{g.IndexOf(trajpattern.Pt(0.85, 0.85)), g.IndexOf(trajpattern.Pt(0.85, 0.75))},
+	}
+	groups, err := trajpattern.DiscoverGroups(patterns, g, 0.15)
+	if err != nil {
+		panic(err)
+	}
+	for _, grp := range groups {
+		fmt.Printf("group of %d (length %d)\n", grp.Len(), grp.PatternLen())
+	}
+	// Output:
+	// group of 2 (length 2)
+	// group of 1 (length 2)
+}
+
+// ExampleTrainClassifier builds the introduction's pattern-based
+// classifier: two movement styles are told apart by which mined pattern
+// set supports a new trajectory better.
+func ExampleTrainClassifier() {
+	g := trajpattern.NewSquareGrid(5)
+	mk := func(cells []int) trajpattern.Dataset {
+		var ds trajpattern.Dataset
+		for i := 0; i < 4; i++ {
+			var tr trajpattern.Trajectory
+			for rep := 0; rep < 3; rep++ {
+				for _, c := range cells {
+					tr = append(tr, trajpattern.TrajPoint{Mean: g.CenterAt(c), Sigma: 0.04})
+				}
+			}
+			ds = append(ds, tr)
+		}
+		return ds
+	}
+	classes := map[string]trajpattern.Dataset{
+		"east":  mk([]int{0, 1, 2, 3}),
+		"north": mk([]int{0, 5, 10, 15}),
+	}
+	c, err := trajpattern.TrainClassifier(classes, trajpattern.ClassifierConfig{
+		Scorer: trajpattern.ScorerConfig{Grid: g, Delta: g.CellWidth()},
+		K:      4, MinLen: 2, MaxLen: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	probe := mk([]int{0, 1, 2, 3})[0] // an eastbound trajectory
+	pred, _, err := c.Classify(probe)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pred)
+	// Output: east
+}
+
+// ExampleBoxProb evaluates the paper's Prob(l, σ, p, δ) for a location
+// distribution centered on the queried position.
+func ExampleBoxProb() {
+	p := trajpattern.BoxProb(trajpattern.Pt(0.5, 0.5), 0.1, trajpattern.Pt(0.5, 0.5), 0.1)
+	fmt.Printf("%.3f\n", p)
+	// Output: 0.466
+}

@@ -1,0 +1,3 @@
+module trajpattern
+
+go 1.22

@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"trajpattern/internal/core"
+	"trajpattern/internal/grid"
+	"trajpattern/internal/stat"
+	"trajpattern/internal/traj"
+)
+
+// walkDataset builds trajectories that repeatedly walk the given cell path
+// with noise, planting strong patterns.
+func walkDataset(seed uint64, g *grid.Grid, path []int, nTraj, reps int, sigma, noise float64) traj.Dataset {
+	rng := stat.NewRNG(seed)
+	d := make(traj.Dataset, nTraj)
+	for i := range d {
+		var tr traj.Trajectory
+		for r := 0; r < reps; r++ {
+			for _, cell := range path {
+				c := g.CenterAt(cell)
+				tr = append(tr, traj.P(c.X+rng.Normal(0, noise), c.Y+rng.Normal(0, noise), sigma))
+			}
+		}
+		d[i] = tr
+	}
+	return d
+}
+
+func newScorer(t *testing.T, data traj.Dataset, n int) *core.Scorer {
+	t.Helper()
+	g := grid.NewSquare(n)
+	s, err := core.NewScorer(data, core.Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPBValidation(t *testing.T) {
+	s := newScorer(t, walkDataset(1, grid.NewSquare(2), []int{0, 1}, 3, 2, 0.05, 0.02), 2)
+	if _, err := MinePB(s, PBConfig{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := MinePB(s, PBConfig{K: 1, MinLen: 5, MaxLen: 3}); err == nil {
+		t.Error("MinLen > MaxLen accepted")
+	}
+	if _, err := MinePB(s, PBConfig{K: 1, Seeds: []int{}}); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	if _, err := MinePB(s, PBConfig{K: 1, MaxLen: -1}); err == nil {
+		t.Error("negative MaxLen accepted")
+	}
+}
+
+func TestPBMatchesExhaustive(t *testing.T) {
+	g := grid.NewSquare(2)
+	data := walkDataset(3, g, []int{0, 1, 3}, 6, 3, 0.05, 0.02)
+	s := newScorer(t, data, 2)
+	seeds := s.AllCells()
+	k, maxLen := 8, 4
+	pb, err := MinePB(s, PBConfig{K: k, MaxLen: maxLen, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := ExhaustiveNM(s, seeds, k, 1, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pb.Patterns) != len(oracle) {
+		t.Fatalf("count: PB %d vs oracle %d", len(pb.Patterns), len(oracle))
+	}
+	for i := range oracle {
+		if math.Abs(pb.Patterns[i].NM-oracle[i].NM) > 1e-9 {
+			t.Errorf("rank %d: PB %v (%v) vs oracle %v (%v)",
+				i, pb.Patterns[i].NM, pb.Patterns[i].Pattern, oracle[i].NM, oracle[i].Pattern)
+		}
+	}
+	if pb.Stats.NMEvaluations == 0 || pb.Stats.PrefixesExpanded == 0 {
+		t.Errorf("stats empty: %+v", pb.Stats)
+	}
+}
+
+func TestPBAgreesWithTrajPattern(t *testing.T) {
+	// The paper's two NM miners must return the same top-k on structured
+	// data (both are exact).
+	g := grid.NewSquare(3)
+	data := walkDataset(5, g, []int{0, 4, 8}, 8, 3, 0.05, 0.02)
+	sPB := newScorer(t, data, 3)
+	sTP := newScorer(t, data, 3)
+	k, maxLen := 6, 4
+	pb, err := MinePB(sPB, PBConfig{K: k, MaxLen: maxLen, Seeds: sPB.AllCells()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := core.Mine(sTP, core.MinerConfig{K: k, MaxLen: maxLen, Seeds: sTP.AllCells()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pb.Patterns) != len(tp.Patterns) {
+		t.Fatalf("count: PB %d vs TrajPattern %d", len(pb.Patterns), len(tp.Patterns))
+	}
+	for i := range pb.Patterns {
+		if math.Abs(pb.Patterns[i].NM-tp.Patterns[i].NM) > 1e-9 {
+			t.Errorf("rank %d NM: PB %v (%v) vs TrajPattern %v (%v)", i,
+				pb.Patterns[i].NM, pb.Patterns[i].Pattern,
+				tp.Patterns[i].NM, tp.Patterns[i].Pattern)
+		}
+	}
+}
+
+func TestPBMinLen(t *testing.T) {
+	g := grid.NewSquare(2)
+	data := walkDataset(7, g, []int{0, 1, 3, 2}, 5, 3, 0.05, 0.02)
+	s := newScorer(t, data, 2)
+	pb, err := MinePB(s, PBConfig{K: 4, MinLen: 3, MaxLen: 5, Seeds: s.AllCells()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range pb.Patterns {
+		if len(sp.Pattern) < 3 {
+			t.Errorf("MinLen violated: %v", sp.Pattern)
+		}
+	}
+	oracle, err := ExhaustiveNM(s, s.AllCells(), 4, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oracle {
+		if math.Abs(pb.Patterns[i].NM-oracle[i].NM) > 1e-9 {
+			t.Errorf("rank %d: PB %v vs oracle %v", i, pb.Patterns[i].NM, oracle[i].NM)
+		}
+	}
+}
+
+func TestMatchMinerValidation(t *testing.T) {
+	s := newScorer(t, walkDataset(9, grid.NewSquare(2), []int{0, 1}, 3, 2, 0.05, 0.02), 2)
+	if _, err := MineMatch(s, MatchConfig{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := MineMatch(s, MatchConfig{K: 1, MinLen: 9, MaxLen: 2}); err == nil {
+		t.Error("MinLen > MaxLen accepted")
+	}
+	if _, err := MineMatch(s, MatchConfig{K: 1, Seeds: []int{}}); err == nil {
+		t.Error("empty seeds accepted")
+	}
+}
+
+func TestMatchMinerTopKAreSingularsWithoutMinLen(t *testing.T) {
+	// The paper's criticism of the match measure: without a length floor
+	// the best patterns are the shortest ones.
+	g := grid.NewSquare(2)
+	data := walkDataset(11, g, []int{0, 1, 3}, 6, 3, 0.05, 0.02)
+	s := newScorer(t, data, 2)
+	res, err := MineMatch(s, MatchConfig{K: 3, MaxLen: 4, Seeds: s.AllCells()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range res.Patterns {
+		if len(sm.Pattern) != 1 {
+			t.Errorf("non-singular in unconstrained top-k: %v (match %v)", sm.Pattern, sm.Match)
+		}
+	}
+}
+
+func TestMatchMinerMatchesExhaustive(t *testing.T) {
+	g := grid.NewSquare(2)
+	data := walkDataset(13, g, []int{0, 1, 3, 2}, 6, 3, 0.05, 0.02)
+	s := newScorer(t, data, 2)
+	k, minLen, maxLen := 6, 3, 5
+	res, err := MineMatch(s, MatchConfig{K: k, MinLen: minLen, MaxLen: maxLen, Seeds: s.AllCells()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := ExhaustiveMatch(s, s.AllCells(), k, minLen, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != len(oracle) {
+		t.Fatalf("count: %d vs %d", len(res.Patterns), len(oracle))
+	}
+	for i := range oracle {
+		if math.Abs(res.Patterns[i].Match-oracle[i].Match) > 1e-12 {
+			t.Errorf("rank %d: miner %v (%v) vs oracle %v (%v)", i,
+				res.Patterns[i].Match, res.Patterns[i].Pattern,
+				oracle[i].Match, oracle[i].Pattern)
+		}
+	}
+	if res.Stats.Levels < minLen {
+		t.Errorf("stats: explored only %d levels", res.Stats.Levels)
+	}
+}
+
+func TestExhaustiveValidation(t *testing.T) {
+	s := newScorer(t, walkDataset(15, grid.NewSquare(2), []int{0}, 2, 2, 0.05, 0.02), 2)
+	if _, err := ExhaustiveNM(s, nil, 1, 1, 2); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := ExhaustiveNM(s, s.AllCells(), 0, 1, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ExhaustiveNM(s, s.AllCells(), 1, 3, 2); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	// Space guard: 4^30 is out of reach.
+	if _, err := ExhaustiveNM(s, s.AllCells(), 1, 1, 30); err == nil {
+		t.Error("huge space accepted")
+	}
+}
+
+func TestMatchVsNMPatternLengths(t *testing.T) {
+	// §6.1's qualitative claim: with the same length floor, the top-k NM
+	// patterns are on average at least as long as the top-k match
+	// patterns (match decays with length; NM does not).
+	g := grid.NewSquare(3)
+	data := walkDataset(17, g, []int{0, 4, 8, 4}, 10, 4, 0.04, 0.02)
+	sNM := newScorer(t, data, 3)
+	sM := newScorer(t, data, 3)
+	k, minLen, maxLen := 10, 2, 6
+	nmRes, err := core.Mine(sNM, core.MinerConfig{K: k, MinLen: minLen, MaxLen: maxLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRes, err := MineMatch(sM, MatchConfig{K: k, MinLen: minLen, MaxLen: maxLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(ls []int) float64 {
+		var s float64
+		for _, l := range ls {
+			s += float64(l)
+		}
+		return s / float64(len(ls))
+	}
+	var nmLens, mLens []int
+	for _, p := range nmRes.Patterns {
+		nmLens = append(nmLens, len(p.Pattern))
+	}
+	for _, p := range mRes.Patterns {
+		mLens = append(mLens, len(p.Pattern))
+	}
+	if avg(nmLens) < avg(mLens) {
+		t.Errorf("NM avg length %.2f < match avg length %.2f", avg(nmLens), avg(mLens))
+	}
+}

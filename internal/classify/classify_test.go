@@ -1,0 +1,131 @@
+package classify
+
+import (
+	"testing"
+
+	"trajpattern/internal/core"
+	"trajpattern/internal/grid"
+	"trajpattern/internal/stat"
+	"trajpattern/internal/traj"
+)
+
+// classData builds trajectories walking the given cell loop with noise.
+func classData(seed uint64, g *grid.Grid, loop []int, n, reps int) traj.Dataset {
+	rng := stat.NewRNG(seed)
+	ds := make(traj.Dataset, n)
+	for i := range ds {
+		var tr traj.Trajectory
+		for r := 0; r < reps; r++ {
+			for _, cell := range loop {
+				c := g.CenterAt(cell)
+				tr = append(tr, traj.P(c.X+rng.Normal(0, 0.01), c.Y+rng.Normal(0, 0.01), 0.03))
+			}
+		}
+		ds[i] = tr
+	}
+	return ds
+}
+
+func twoClassFixture(t *testing.T) (*grid.Grid, map[string]traj.Dataset, map[string]traj.Dataset) {
+	t.Helper()
+	g := grid.NewSquare(5)
+	// Class A walks the bottom row, class B the left column.
+	train := map[string]traj.Dataset{
+		"rowers":   classData(1, g, []int{0, 1, 2, 3}, 6, 3),
+		"climbers": classData(2, g, []int{0, 5, 10, 15}, 6, 3),
+	}
+	test := map[string]traj.Dataset{
+		"rowers":   classData(3, g, []int{0, 1, 2, 3}, 4, 3),
+		"climbers": classData(4, g, []int{0, 5, 10, 15}, 4, 3),
+	}
+	return g, train, test
+}
+
+func cfg(g *grid.Grid) Config {
+	return Config{
+		Scorer: core.Config{Grid: g, Delta: g.CellWidth()},
+		K:      6, MinLen: 2, MaxLen: 4,
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	g, train, _ := twoClassFixture(t)
+	if _, err := Train(map[string]traj.Dataset{"only": train["rowers"]}, cfg(g)); err == nil {
+		t.Error("single class accepted")
+	}
+	bad := map[string]traj.Dataset{"a": train["rowers"], "b": nil}
+	if _, err := Train(bad, cfg(g)); err == nil {
+		t.Error("empty class accepted")
+	}
+}
+
+func TestClassifySeparatesClasses(t *testing.T) {
+	g, train, test := twoClassFixture(t)
+	c, err := Train(train, cfg(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Classes(); len(got) != 2 || got[0] != "climbers" {
+		t.Errorf("Classes = %v", got)
+	}
+	acc, confusion, err := c.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("accuracy = %.2f, confusion %v", acc, confusion)
+	}
+	// Confusion diagonal dominates.
+	for truth, row := range confusion {
+		if row[truth] == 0 {
+			t.Errorf("class %s never correctly classified: %v", truth, row)
+		}
+	}
+}
+
+func TestClassifyScores(t *testing.T) {
+	g, train, test := twoClassFixture(t)
+	c, err := Train(train, cfg(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := test["rowers"][0]
+	pred, scores, err := c.Classify(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != "rowers" {
+		t.Errorf("pred = %s (scores %v)", pred, scores)
+	}
+	if scores["rowers"] <= scores["climbers"] {
+		t.Errorf("score ordering wrong: %v", scores)
+	}
+	if _, _, err := c.Classify(nil); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+}
+
+func TestPatternsAccessor(t *testing.T) {
+	g, train, _ := twoClassFixture(t)
+	c, err := Train(train, cfg(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Patterns("rowers")) == 0 {
+		t.Error("no patterns for known class")
+	}
+	if c.Patterns("unknown") != nil {
+		t.Error("patterns for unknown class")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	g, train, _ := twoClassFixture(t)
+	c, err := Train(train, cfg(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Evaluate(map[string]traj.Dataset{}); err == nil {
+		t.Error("empty test set accepted")
+	}
+}

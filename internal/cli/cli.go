@@ -1,0 +1,178 @@
+// Package cli implements the logic behind the trajgen and trajmine
+// command-line tools, factored out of the main packages so it can be
+// tested directly: dataset generation dispatch, grid fitting, mining
+// dispatch across the three measures, and report formatting.
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"trajpattern/internal/baseline"
+	"trajpattern/internal/core"
+	"trajpattern/internal/datagen"
+	"trajpattern/internal/exp"
+	"trajpattern/internal/geom"
+	"trajpattern/internal/grid"
+	"trajpattern/internal/traj"
+	"trajpattern/internal/viz"
+)
+
+// GenOptions parameterizes dataset generation (the trajgen tool).
+type GenOptions struct {
+	Kind  string  // "zebra", "tpr", "posture" or "bus"
+	N     int     // trajectories (zebra/tpr/posture)
+	Len   int     // average trajectory length
+	U     float64 // tolerable uncertainty distance
+	C     float64 // confidence constant
+	Scale float64 // bus pipeline scale
+	Seed  uint64
+}
+
+// Generate builds the requested dataset.
+func Generate(o GenOptions) (traj.Dataset, error) {
+	switch o.Kind {
+	case "zebra":
+		return datagen.ZebraDataset(datagen.ZebraConfig{
+			NumZebras: o.N, AvgLen: o.Len, Seed: o.Seed,
+		}, o.U, o.C)
+	case "tpr":
+		return datagen.TPRDataset(datagen.TPRConfig{
+			NumObjects: o.N, Length: o.Len, Seed: o.Seed,
+		}, o.U, o.C)
+	case "posture":
+		return datagen.PostureDataset(datagen.PostureConfig{
+			NumSubjects: o.N, Length: o.Len, Seed: o.Seed,
+		}, o.U, o.C)
+	case "bus":
+		data, err := exp.MakeBusData(exp.BusOptions{Scale: o.Scale, U: o.U, C: o.C, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return data.Velocities, nil
+	default:
+		return nil, fmt.Errorf("cli: unknown kind %q (want zebra, tpr, posture or bus)", o.Kind)
+	}
+}
+
+// MineOptions parameterizes a mining run (the trajmine tool).
+type MineOptions struct {
+	K        int
+	GridN    int
+	MinLen   int
+	MaxLen   int
+	DeltaMul float64 // δ as a multiple of the grid cell size
+	Measure  string  // "nm", "pb" or "match"
+	Groups   bool    // cluster the result into pattern groups
+	Viz      bool    // render ASCII maps
+	SavePath string  // when set, persist the scored patterns as JSON
+}
+
+// FitGrid builds a square grid covering the dataset bounds with a 3σ̄
+// margin, the geometry every tool and experiment shares.
+func FitGrid(ds traj.Dataset, n int) *grid.Grid {
+	b := ds.Bounds().Expand(3 * ds.MeanSigma())
+	side := b.Width()
+	if b.Height() > side {
+		side = b.Height()
+	}
+	if side == 0 {
+		side = 1
+	}
+	c := b.Center()
+	square := geom.NewRect(
+		geom.Pt(c.X-side/2, c.Y-side/2),
+		geom.Pt(c.X+side/2, c.Y+side/2),
+	)
+	return grid.New(square, n, n)
+}
+
+// Mine runs the requested miner over the dataset and writes a human
+// readable report to w. It returns the mined patterns for further use.
+func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("cli: empty dataset")
+	}
+	g := FitGrid(ds, o.GridN)
+	s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: o.DeltaMul * g.CellWidth()})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "dataset: %d trajectories, avg length %.1f, grid %d×%d over %v\n",
+		ds.NumTrajectories(), ds.AvgLength(), g.NX(), g.NY(), g.Bounds())
+
+	var patterns []core.Pattern
+	var scored []core.ScoredPattern
+	switch o.Measure {
+	case "nm":
+		res, err := core.Mine(s, core.MinerConfig{
+			K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "TrajPattern: %d iterations, %d candidates, max |Q| %d, pruned %d\n",
+			res.Stats.Iterations, res.Stats.Candidates, res.Stats.MaxQ, res.Stats.Pruned)
+		for i, sp := range res.Patterns {
+			fmt.Fprintf(w, "%3d. NM=%-10.4f len=%d  %s\n", i+1, sp.NM, len(sp.Pattern), sp.Pattern.Format(g))
+			patterns = append(patterns, sp.Pattern)
+		}
+		scored = res.Patterns
+	case "pb":
+		res, err := baseline.MinePB(s, baseline.PBConfig{K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "PB: %d prefixes expanded, %d pruned\n",
+			res.Stats.PrefixesExpanded, res.Stats.PrefixesPruned)
+		for i, sp := range res.Patterns {
+			fmt.Fprintf(w, "%3d. NM=%-10.4f len=%d  %s\n", i+1, sp.NM, len(sp.Pattern), sp.Pattern.Format(g))
+			patterns = append(patterns, sp.Pattern)
+		}
+		scored = res.Patterns
+	case "match":
+		res, err := baseline.MineMatch(s, baseline.MatchConfig{K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "match miner: %d levels, %d candidates\n", res.Stats.Levels, res.Stats.Candidates)
+		for i, sm := range res.Patterns {
+			fmt.Fprintf(w, "%3d. match=%-10.4f len=%d  %s\n", i+1, sm.Match, len(sm.Pattern), sm.Pattern.Format(g))
+			patterns = append(patterns, sm.Pattern)
+			scored = append(scored, core.ScoredPattern{Pattern: sm.Pattern, NM: sm.Match})
+		}
+	default:
+		return nil, fmt.Errorf("cli: unknown measure %q (want nm, pb or match)", o.Measure)
+	}
+
+	if o.SavePath != "" {
+		if err := core.SavePatterns(o.SavePath, scored); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "saved %d patterns to %s\n", len(scored), o.SavePath)
+	}
+
+	if o.Viz && len(patterns) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, viz.Density(ds, g, "data density (mean locations):"))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, viz.PatternPath(patterns[0], g, "best pattern (a→b→c…):"))
+	}
+
+	if o.Groups && len(patterns) > 0 {
+		gamma := core.DefaultGamma(ds.MeanSigma())
+		gs, err := core.DiscoverGroups(patterns, g, gamma)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "\npattern groups (γ = 3σ̄ = %.4g): %d groups for %d patterns\n",
+			gamma, len(gs), len(patterns))
+		for i, grp := range gs {
+			fmt.Fprintf(w, "group %d (%d members, length %d):\n", i+1, grp.Len(), grp.PatternLen())
+			for _, m := range grp.Members {
+				fmt.Fprintf(w, "   %s\n", m.Format(g))
+			}
+		}
+	}
+	return patterns, nil
+}

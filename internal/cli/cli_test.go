@@ -1,0 +1,150 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trajpattern/internal/core"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"zebra", "tpr", "posture"} {
+		ds, err := Generate(GenOptions{Kind: kind, N: 8, Len: 20, U: 0.02, C: 2, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(ds) != 8 {
+			t.Errorf("%s: %d trajectories", kind, len(ds))
+		}
+		if err := ds.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestGenerateBus(t *testing.T) {
+	ds, err := Generate(GenOptions{Kind: "bus", U: 0.01, C: 2, Scale: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("empty bus dataset")
+	}
+	if ds[0].Len() != 100 {
+		t.Errorf("velocity length = %d", ds[0].Len())
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, err := Generate(GenOptions{Kind: "nope"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestFitGrid(t *testing.T) {
+	ds, err := Generate(GenOptions{Kind: "tpr", N: 5, Len: 20, U: 0.02, C: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FitGrid(ds, 8)
+	if g.NumCells() != 64 {
+		t.Errorf("cells = %d", g.NumCells())
+	}
+	for _, tr := range ds {
+		for _, p := range tr {
+			if !g.Bounds().Contains(p.Mean) {
+				t.Fatalf("grid does not cover %v", p.Mean)
+			}
+		}
+	}
+	// Square even for skewed data (up to float rounding of min/max
+	// corners derived from center ± side/2).
+	if d := g.Bounds().Width() - g.Bounds().Height(); d > 1e-12 || d < -1e-12 {
+		t.Errorf("grid not square: %v vs %v", g.Bounds().Width(), g.Bounds().Height())
+	}
+}
+
+func TestMineAllMeasures(t *testing.T) {
+	ds, err := Generate(GenOptions{Kind: "zebra", N: 10, Len: 25, U: 0.02, C: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, measure := range []string{"nm", "pb", "match"} {
+		var buf bytes.Buffer
+		pats, err := Mine(&buf, ds, MineOptions{
+			K: 4, GridN: 8, MinLen: 1, MaxLen: 3, DeltaMul: 1,
+			Measure: measure, Groups: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", measure, err)
+		}
+		if len(pats) != 4 {
+			t.Errorf("%s: %d patterns", measure, len(pats))
+		}
+		out := buf.String()
+		if !strings.Contains(out, "dataset:") {
+			t.Errorf("%s: missing header:\n%s", measure, out)
+		}
+		if !strings.Contains(out, "pattern groups") {
+			t.Errorf("%s: missing groups section", measure)
+		}
+	}
+}
+
+func TestMineViz(t *testing.T) {
+	ds, err := Generate(GenOptions{Kind: "zebra", N: 6, Len: 20, U: 0.02, C: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Mine(&buf, ds, MineOptions{
+		K: 3, GridN: 8, MinLen: 1, MaxLen: 3, DeltaMul: 1,
+		Measure: "nm", Viz: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "data density") || !strings.Contains(out, "best pattern") {
+		t.Errorf("viz sections missing:\n%s", out)
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	ds, err := Generate(GenOptions{Kind: "zebra", N: 4, Len: 15, U: 0.02, C: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Mine(&buf, nil, MineOptions{K: 1, GridN: 4, MaxLen: 2, DeltaMul: 1, Measure: "nm"}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Mine(&buf, ds, MineOptions{K: 1, GridN: 4, MaxLen: 2, DeltaMul: 1, Measure: "bogus"}); err == nil {
+		t.Error("bogus measure accepted")
+	}
+	if _, err := Mine(&buf, ds, MineOptions{K: 0, GridN: 4, MaxLen: 2, DeltaMul: 1, Measure: "nm"}); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func TestMineSavePatterns(t *testing.T) {
+	ds, err := Generate(GenOptions{Kind: "zebra", N: 6, Len: 20, U: 0.02, C: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/pats.json"
+	var buf bytes.Buffer
+	if _, err := Mine(&buf, ds, MineOptions{
+		K: 3, GridN: 8, MinLen: 1, MaxLen: 3, DeltaMul: 1,
+		Measure: "nm", SavePath: path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadPatterns(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 {
+		t.Errorf("loaded %d patterns", len(loaded))
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"trajpattern/internal/grid"
+	"trajpattern/internal/stat"
+	"trajpattern/internal/traj"
+)
+
+func benchDataset(nTraj, length int) traj.Dataset {
+	rng := stat.NewRNG(99)
+	d := make(traj.Dataset, nTraj)
+	for i := range d {
+		tr := make(traj.Trajectory, length)
+		x, y := rng.Float64(), rng.Float64()
+		for j := range tr {
+			x += rng.Normal(0, 0.01)
+			y += rng.Normal(0, 0.01)
+			tr[j] = traj.P(clamp01(x), clamp01(y), 0.02)
+		}
+		d[i] = tr
+	}
+	return d
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func benchScorer(b *testing.B, mode ProbMode, cache bool) *Scorer {
+	b.Helper()
+	g := grid.NewSquare(12)
+	s, err := NewScorer(benchDataset(50, 100), Config{
+		Grid:         g,
+		Delta:        g.CellWidth(),
+		Mode:         mode,
+		DisableCache: !cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkNMColdCache measures a single NM evaluation including the
+// log-probability computation for its cells.
+func BenchmarkNMColdCache(b *testing.B) {
+	s := benchScorer(b, ProbBox, false)
+	p := Pattern{50, 51, 62, 63}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NM(p)
+	}
+}
+
+// BenchmarkNMWarmCache measures the steady-state cost of NM evaluation:
+// windowed sums over cached per-cell vectors — the inner loop of the
+// miner's complexity O(k²MNG).
+func BenchmarkNMWarmCache(b *testing.B) {
+	s := benchScorer(b, ProbBox, true)
+	p := Pattern{50, 51, 62, 63}
+	s.NM(p) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NM(p)
+	}
+}
+
+// BenchmarkLogProbBox measures the per-snapshot box probability.
+func BenchmarkLogProbBox(b *testing.B) {
+	s := benchScorer(b, ProbBox, true)
+	pt := traj.P(0.4, 0.4, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.logProb(pt, 50)
+	}
+}
+
+// BenchmarkLogProbDisk measures the per-snapshot Rice-distribution disk
+// probability (Simpson integration of the scaled Bessel integrand).
+func BenchmarkLogProbDisk(b *testing.B) {
+	s := benchScorer(b, ProbDisk, true)
+	pt := traj.P(0.4, 0.4, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.logProb(pt, 50)
+	}
+}
+
+// BenchmarkScoreAllBatch measures batched parallel NM evaluation, the
+// miner's candidate-scoring path.
+func BenchmarkScoreAllBatch(b *testing.B) {
+	s := benchScorer(b, ProbBox, true)
+	rng := stat.NewRNG(3)
+	patterns := make([]Pattern, 200)
+	for i := range patterns {
+		n := 2 + rng.Intn(4)
+		p := make(Pattern, n)
+		for j := range p {
+			p[j] = rng.Intn(144)
+		}
+		patterns[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreAll(patterns)
+	}
+}
+
+// BenchmarkMineSmall measures an end-to-end mining run on a small
+// workload.
+func BenchmarkMineSmall(b *testing.B) {
+	g := grid.NewSquare(10)
+	ds := benchDataset(30, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewScorer(ds, Config{Grid: g, Delta: g.CellWidth()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Mine(s, MinerConfig{K: 8, MaxLen: 5, MaxLowQ: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscoverGroups measures pattern-group clustering of a mined
+// result set.
+func BenchmarkDiscoverGroups(b *testing.B) {
+	g := grid.NewSquare(20)
+	rng := stat.NewRNG(4)
+	patterns := make([]Pattern, 100)
+	for i := range patterns {
+		p := make(Pattern, 3)
+		base := rng.Intn(380)
+		for j := range p {
+			p[j] = base + rng.Intn(20)
+		}
+		patterns[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DiscoverGroups(patterns, g, 0.15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNMGapDP measures the gap-pattern dynamic program (§5).
+func BenchmarkNMGapDP(b *testing.B) {
+	s := benchScorer(b, ProbBox, true)
+	gp := GapPattern{
+		Segments: []Pattern{{50, 51}, {62}, {75, 76}},
+		MinGap:   []int{0, 1},
+		MaxGap:   []int{3, 4},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.NMGap(gp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"trajpattern/internal/grid"
+	"trajpattern/internal/traj"
+)
+
+func TestExplainConsistentWithNM(t *testing.T) {
+	data := randomDataset(31, 5, 12, 0.1)
+	s := testScorer(t, data, 4)
+	p := Pattern{3, 7, 11}
+	ex, err := s.Explain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ex.NM-s.NM(p)) > 1e-12 {
+		t.Errorf("Explain total %v != NM %v", ex.NM, s.NM(p))
+	}
+	var sum float64
+	for ti, c := range ex.PerTraj {
+		sum += c.NM
+		if want := s.NMTrajectory(p, ti); math.Abs(c.NM-want) > 1e-12 {
+			t.Errorf("traj %d: %v vs %v", ti, c.NM, want)
+		}
+	}
+	if math.Abs(sum-ex.NM) > 1e-9 {
+		t.Error("contributions do not sum to total")
+	}
+}
+
+func TestExplainBestWindow(t *testing.T) {
+	// Pattern matching exactly the tail: best window must be index 2.
+	g := grid.NewSquare(4)
+	far, a, b := g.CenterAt(0), g.CenterAt(5), g.CenterAt(10)
+	data := traj.Dataset{{
+		{Mean: far, Sigma: 0.05},
+		{Mean: far, Sigma: 0.05},
+		{Mean: a, Sigma: 0.05},
+		{Mean: b, Sigma: 0.05},
+	}}
+	s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := s.Explain(Pattern{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PerTraj[0].Window != 2 {
+		t.Errorf("best window = %d, want 2", ex.PerTraj[0].Window)
+	}
+}
+
+func TestExplainTooShort(t *testing.T) {
+	data := traj.Dataset{
+		{traj.P(0.5, 0.5, 0.1)}, // length 1
+		{traj.P(0.5, 0.5, 0.1), traj.P(0.5, 0.5, 0.1), traj.P(0.5, 0.5, 0.1)},
+	}
+	s := testScorer(t, data, 4)
+	ex, err := s.Explain(Pattern{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.PerTraj[0].TooShort || ex.PerTraj[0].Window != -1 {
+		t.Errorf("short trajectory not flagged: %+v", ex.PerTraj[0])
+	}
+	if ex.PerTraj[1].TooShort {
+		t.Error("long trajectory flagged short")
+	}
+}
+
+func TestExplainValidation(t *testing.T) {
+	s := testScorer(t, randomDataset(32, 2, 6, 0.1), 4)
+	if _, err := s.Explain(nil); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := s.Explain(Pattern{999}); err == nil {
+		t.Error("out-of-grid pattern accepted")
+	}
+}
+
+func TestTopContributorsAndString(t *testing.T) {
+	data := randomDataset(33, 8, 10, 0.1)
+	s := testScorer(t, data, 4)
+	ex, err := s.Explain(Pattern{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := ex.TopContributors(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].NM > top[i-1].NM {
+			t.Error("contributors not sorted")
+		}
+	}
+	// All requested when n exceeds the dataset.
+	if got := ex.TopContributors(100); len(got) != 8 {
+		t.Errorf("overlong request = %d", len(got))
+	}
+	out := ex.String()
+	if !strings.Contains(out, "pattern 5:") || !strings.Contains(out, "traj ") {
+		t.Errorf("String output:\n%s", out)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePattern checks that ParsePattern never panics and that every
+// successfully parsed key round-trips exactly.
+func FuzzParsePattern(f *testing.F) {
+	f.Add("1,2,3")
+	f.Add("")
+	f.Add("0")
+	f.Add("-1,5")
+	f.Add("9999999999999999999999")
+	f.Add("1,,2")
+	f.Add("a,b")
+	f.Fuzz(func(t *testing.T, key string) {
+		p, err := ParsePattern(key)
+		if err != nil {
+			return
+		}
+		if len(p) == 0 {
+			t.Fatalf("ParsePattern(%q) returned empty pattern without error", key)
+		}
+		back := p.Key()
+		// Canonical keys round-trip; non-canonical inputs (leading zeros,
+		// plus signs) may normalize, but re-parsing the canonical form
+		// must be stable.
+		p2, err := ParsePattern(back)
+		if err != nil {
+			t.Fatalf("canonical key %q failed to parse: %v", back, err)
+		}
+		if !p.Equal(p2) {
+			t.Fatalf("round trip changed pattern: %v vs %v", p, p2)
+		}
+	})
+}
+
+// FuzzSuperPattern checks the consistency of the super-pattern relation
+// under random cell sequences encoded as comma strings.
+func FuzzSuperPattern(f *testing.F) {
+	f.Add("1,2,3", "2,3")
+	f.Add("1", "1")
+	f.Add("5,5,5", "5,5")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		pa, errA := ParsePattern(a)
+		pb, errB := ParsePattern(b)
+		if errA != nil || errB != nil {
+			return
+		}
+		super := pa.IsSuperPatternOf(pb)
+		proper := pa.IsProperSuperPatternOf(pb)
+		if proper && !super {
+			t.Fatal("proper super-pattern that is not a super-pattern")
+		}
+		if super && len(pb) > len(pa) {
+			t.Fatal("super-pattern shorter than sub-pattern")
+		}
+		if super && strings.Count(","+pa.Key()+",", ","+pb.Key()+",") == 0 {
+			// The key of a contiguous sub-pattern must appear inside the
+			// super-pattern's key (with comma delimiters).
+			t.Fatalf("IsSuperPatternOf(%q, %q) true but key not contained", a, b)
+		}
+	})
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MinerConfig parameterizes the TrajPattern algorithm (Section 4).
+type MinerConfig struct {
+	// K is the number of patterns to mine (top-k by NM). Required.
+	K int
+	// MinLen, when > 1, activates the Section 5 variant that returns the
+	// top-k patterns of length at least MinLen. Zero or one means no
+	// constraint.
+	//
+	// Deviation from the paper, documented in DESIGN.md: §5 re-defines
+	// the high threshold ω as the kth best NM among patterns of length
+	// ≥ MinLen, which floods the high set (almost every pattern exceeds
+	// that much lower ω) and makes the candidate volume quadratic in the
+	// whole pattern set. This implementation instead keeps the base
+	// algorithm's ω (kth best over all patterns) for high/low labeling —
+	// so |H| stays ≈ K — while separately tracking the running top-k
+	// answer among length-≥-MinLen patterns; the answer set is protected
+	// from pruning and always eligible for extension, and the loop runs
+	// until both the high set and the answer set are stable.
+	MinLen int
+	// MaxLen caps the length of generated candidates. The paper observes
+	// that qualified patterns are much shorter than trajectories; the cap
+	// bounds the doubling growth of concatenation. Zero means
+	// DefaultMaxLen.
+	MaxLen int
+	// MaxIters bounds the number of grow iterations as a safety net on
+	// top of the termination test. Zero means DefaultMaxIters.
+	MaxIters int
+	// MaxHigh caps the size of the high set used for candidate
+	// generation. The paper labels every pattern with NM >= ω as high;
+	// when many patterns tie at ω — which is guaranteed once δ is large
+	// enough that whole regions have probability 1 and NM 0 — that rule
+	// floods H and the candidate volume explodes combinatorially. The
+	// cap keeps the best MaxHigh patterns (deterministic order) plus the
+	// protected answer set. Zero means 4·K; negative means unlimited
+	// (the paper's literal rule).
+	MaxHigh int
+	// MaxLowQ caps how many low 1-extension patterns are retained in Q
+	// as extension partners, keeping the best by NM. The paper retains
+	// all of them (O(kG), which with its O(k²G) candidate volume per
+	// iteration is impractical at the paper's own k = 1000); a cap of a
+	// few multiples of K preserves the useful partners. Zero means
+	// unlimited (the paper's literal rule).
+	MaxLowQ int
+	// DisablePrune keeps all low patterns in Q instead of removing those
+	// failing the 1-extension property — the A1 ablation. MaxLowQ still
+	// applies if non-zero.
+	DisablePrune bool
+	// Seeds is the set of singular-pattern cells to start from. Nil means
+	// Scorer.ObservedCells(1): every cell holding data plus one ring,
+	// which contains all cells that can appear in a top-k pattern unless
+	// the floor dominates. Use Scorer.AllCells for the paper's literal
+	// seeding on small grids.
+	Seeds []int
+}
+
+// Defaults for MinerConfig.
+const (
+	DefaultMaxLen   = 24
+	DefaultMaxIters = 64
+)
+
+func (c MinerConfig) withDefaults() MinerConfig {
+	if c.MaxLen == 0 {
+		c.MaxLen = DefaultMaxLen
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = DefaultMaxIters
+	}
+	if c.MinLen < 1 {
+		c.MinLen = 1
+	}
+	if c.MaxHigh == 0 {
+		c.MaxHigh = 4 * c.K
+	}
+	return c
+}
+
+func (c MinerConfig) validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("core: MinerConfig.K must be > 0, got %d", c.K)
+	}
+	if c.MaxLen < 0 || c.MaxIters < 0 || c.MaxLowQ < 0 {
+		return fmt.Errorf("core: negative MaxLen/MaxIters/MaxLowQ")
+	}
+	if c.MinLen > c.MaxLen && c.MaxLen != 0 {
+		return fmt.Errorf("core: MinLen %d exceeds MaxLen %d", c.MinLen, c.MaxLen)
+	}
+	return nil
+}
+
+// MinerStats reports the work done by one Mine call.
+type MinerStats struct {
+	Iterations    int // grow iterations executed
+	Candidates    int // candidate patterns whose NM was evaluated
+	MaxQ          int // peak size of the pattern set Q
+	Pruned        int // low patterns removed by the 1-extension test
+	LowCapped     int // low patterns removed by the MaxLowQ cap
+	NMEvaluations int // total NM computations (including seeds)
+}
+
+// Result is the output of Mine.
+type Result struct {
+	// Patterns holds the k patterns with the highest NM (among those of
+	// length >= MinLen), best first. Ties break toward shorter patterns,
+	// then lexicographic cell order, so results are deterministic.
+	Patterns []ScoredPattern
+	Stats    MinerStats
+}
+
+// entry is Q's record of one pattern.
+type entry struct {
+	pat Pattern
+	key string
+	nm  float64
+}
+
+// labeling is one iteration's view of Q: the high set (paper ω = Kth best
+// NM over all of Q, plus the protected top-K answer patterns of length >=
+// MinLen) and the current answer key set.
+type labeling struct {
+	high    []*entry
+	highKey map[string]struct{}
+	ansKey  map[string]struct{}
+}
+
+// Mine runs the TrajPattern algorithm: seed Q with singular patterns,
+// iterate candidate generation from the high set (concatenating every high
+// pattern with every pattern in Q on both sides), re-threshold, prune low
+// patterns failing the 1-extension property (§4.1), and stop when the high
+// set and the answer set are stable. See MinerConfig.MinLen and
+// MinerConfig.MaxLowQ for the two documented deviations from the paper.
+func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	seeds := cfg.Seeds
+	if seeds == nil {
+		seeds = s.ObservedCells(1)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: no seed cells")
+	}
+
+	var stats MinerStats
+
+	// Q and the evaluation memo. The memo survives pruning so a pattern
+	// regenerated in a later iteration is never rescored.
+	q := make(map[string]*entry, len(seeds))
+	evaluated := make(map[string]float64, len(seeds))
+
+	insert := func(p Pattern, nm float64) {
+		k := p.Key()
+		if _, ok := q[k]; !ok {
+			q[k] = &entry{pat: p, key: k, nm: nm}
+		}
+	}
+
+	// Seed with singular patterns.
+	seedPats := make([]Pattern, len(seeds))
+	for i, c := range seeds {
+		seedPats[i] = Pattern{c}
+	}
+	for i, nm := range s.ScoreAll(seedPats) {
+		evaluated[seedPats[i].Key()] = nm
+		insert(seedPats[i], nm)
+	}
+	stats.Candidates += len(seedPats)
+
+	var prevHigh, prevAns map[string]struct{}
+	lastFresh := -1 // fresh candidates evaluated in the previous iteration
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		stats.Iterations = iter + 1
+
+		lab := label(q, cfg.K, cfg.MinLen, cfg.MaxHigh)
+
+		// Termination: the high set and the answer set did not change
+		// during the last iteration, and the search is saturated — the
+		// answer holds K patterns, or the last iteration produced no new
+		// candidates at all. (Without the saturation condition the
+		// MinLen variant would stop before any long pattern exists: the
+		// top-K singulars stabilize immediately because concatenation
+		// never raises NM above its best part.)
+		stable := prevHigh != nil &&
+			sameKeySet(prevHigh, lab.highKey) &&
+			sameKeySet(prevAns, lab.ansKey)
+		if stable && (len(lab.ansKey) >= cfg.K || lastFresh == 0) {
+			break
+		}
+		prevHigh, prevAns = lab.highKey, lab.ansKey
+
+		// Candidate generation: extend every high pattern with every
+		// pattern in Q, on both sides.
+		all := make([]*entry, 0, len(q))
+		for _, e := range q {
+			all = append(all, e)
+		}
+		sortEntries(all)
+
+		var fresh []Pattern
+		seen := make(map[string]struct{})
+		propose := func(p Pattern) {
+			if len(p) > cfg.MaxLen {
+				return
+			}
+			k := p.Key()
+			if _, ok := q[k]; ok {
+				return
+			}
+			if _, ok := seen[k]; ok {
+				return
+			}
+			seen[k] = struct{}{}
+			if nm, ok := evaluated[k]; ok {
+				insert(p, nm) // re-admit a previously pruned pattern
+				return
+			}
+			fresh = append(fresh, p)
+		}
+		for _, h := range lab.high {
+			for _, e := range all {
+				propose(h.pat.Concat(e.pat))
+				propose(e.pat.Concat(h.pat))
+			}
+		}
+
+		lastFresh = len(fresh)
+		if len(fresh) > 0 {
+			nms := s.ScoreAll(fresh)
+			for i, p := range fresh {
+				evaluated[p.Key()] = nms[i]
+				insert(p, nms[i])
+			}
+			stats.Candidates += len(fresh)
+		}
+
+		if len(q) > stats.MaxQ {
+			stats.MaxQ = len(q)
+		}
+
+		// Re-label with the new candidates, then prune: keep high and
+		// answer patterns, and low patterns satisfying the 1-extension
+		// property with respect to the new high set (Definition 5 /
+		// Lemma 1), up to the MaxLowQ cap.
+		newLab := label(q, cfg.K, cfg.MinLen, cfg.MaxHigh)
+		protected := func(k string) bool {
+			if _, ok := newLab.highKey[k]; ok {
+				return true
+			}
+			_, ok := newLab.ansKey[k]
+			return ok
+		}
+		if !cfg.DisablePrune {
+			for k, e := range q {
+				if protected(k) || len(e.pat) == 1 {
+					continue
+				}
+				if isOneExtension(e.pat, newLab.highKey) {
+					continue
+				}
+				delete(q, k)
+				stats.Pruned++
+			}
+		}
+		if cfg.MaxLowQ > 0 {
+			var lows []*entry
+			for k, e := range q {
+				if !protected(k) && len(e.pat) > 1 {
+					lows = append(lows, e)
+				}
+			}
+			if len(lows) > cfg.MaxLowQ {
+				sortEntries(lows)
+				for _, e := range lows[cfg.MaxLowQ:] {
+					delete(q, e.key)
+					stats.LowCapped++
+				}
+			}
+		}
+	}
+
+	stats.NMEvaluations = s.NMEvaluations()
+	return &Result{Patterns: topK(q, cfg.K, cfg.MinLen), Stats: stats}, nil
+}
+
+// label computes the current high set and answer set of Q. The high
+// threshold ω is the Kth largest NM over all patterns (-Inf when Q holds
+// fewer than K), the high set is capped at maxHigh entries (ties at ω can
+// otherwise flood it), and the answer set is the top-K patterns of length
+// >= minLen, which are always marked high as well so they keep extending.
+func label(q map[string]*entry, k, minLen, maxHigh int) labeling {
+	all := make([]*entry, 0, len(q))
+	for _, e := range q {
+		all = append(all, e)
+	}
+	sortEntries(all)
+
+	omega := math.Inf(-1)
+	if len(all) >= k {
+		omega = all[k-1].nm
+	}
+
+	lab := labeling{
+		highKey: make(map[string]struct{}),
+		ansKey:  make(map[string]struct{}),
+	}
+	for _, e := range all {
+		if e.nm >= omega {
+			lab.high = append(lab.high, e)
+			lab.highKey[e.key] = struct{}{}
+		}
+	}
+	if maxHigh > 0 && len(lab.high) > maxHigh {
+		for _, e := range lab.high[maxHigh:] {
+			delete(lab.highKey, e.key)
+		}
+		lab.high = lab.high[:maxHigh]
+	}
+	// Answer set: the running top-K result. For minLen == 1 it is simply
+	// the top-K of Q (a subset of the high set); for the Section 5
+	// variant it is the top-K among patterns of length >= minLen, which
+	// are additionally marked high so they keep extending.
+	count := 0
+	for _, e := range all {
+		if len(e.pat) >= minLen {
+			lab.ansKey[e.key] = struct{}{}
+			if _, ok := lab.highKey[e.key]; !ok {
+				lab.high = append(lab.high, e)
+				lab.highKey[e.key] = struct{}{}
+			}
+			count++
+			if count == k {
+				break
+			}
+		}
+	}
+	sortEntries(lab.high)
+	return lab
+}
+
+// isOneExtension reports whether removing the first or last position of p
+// yields a pattern in the high set (Definition 5; 1-patterns always
+// satisfy the property and are handled by the caller).
+func isOneExtension(p Pattern, high map[string]struct{}) bool {
+	if _, ok := high[p.DropFirst().Key()]; ok {
+		return true
+	}
+	_, ok := high[p.DropLast().Key()]
+	return ok
+}
+
+// sameKeySet reports whether two key sets are identical.
+func sameKeySet(a, b map[string]struct{}) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sortEntries orders entries by NM descending, then length ascending, then
+// key, for fully deterministic iteration.
+func sortEntries(es []*entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].nm != es[j].nm {
+			return es[i].nm > es[j].nm
+		}
+		if len(es[i].pat) != len(es[j].pat) {
+			return len(es[i].pat) < len(es[j].pat)
+		}
+		return es[i].key < es[j].key
+	})
+}
+
+// topK extracts the final answer from Q: the k best patterns of length >=
+// minLen. If Q holds fewer than k eligible patterns, all of them are
+// returned.
+func topK(q map[string]*entry, k, minLen int) []ScoredPattern {
+	var es []*entry
+	for _, e := range q {
+		if len(e.pat) >= minLen {
+			es = append(es, e)
+		}
+	}
+	sortEntries(es)
+	if len(es) > k {
+		es = es[:k]
+	}
+	out := make([]ScoredPattern, len(es))
+	for i, e := range es {
+		out[i] = ScoredPattern{Pattern: e.pat, NM: e.nm}
+	}
+	return out
+}

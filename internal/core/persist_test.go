@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trajpattern/internal/grid"
+)
+
+func TestPatternsRoundTrip(t *testing.T) {
+	in := []ScoredPattern{
+		{Pattern: Pattern{1, 2, 3}, NM: -4.5},
+		{Pattern: Pattern{0}, NM: -0.25},
+	}
+	var buf bytes.Buffer
+	if err := WritePatterns(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadPatterns(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("count = %d", len(out))
+	}
+	for i := range in {
+		if !out[i].Pattern.Equal(in[i].Pattern) || out[i].NM != in[i].NM {
+			t.Errorf("entry %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestPatternsFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "patterns.json")
+	in := []ScoredPattern{{Pattern: Pattern{5, 6}, NM: -1}}
+	if err := SavePatterns(path, in); err != nil {
+		t.Fatal(err)
+	}
+	g := grid.NewSquare(4)
+	out, err := LoadPatterns(path, func(p Pattern) error { return p.Validate(g) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !out[0].Pattern.Equal(in[0].Pattern) {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestReadPatternsValidation(t *testing.T) {
+	if _, err := ReadPatterns(strings.NewReader("not json"), nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadPatterns(strings.NewReader(`{"version":99,"patterns":[]}`), nil); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := ReadPatterns(strings.NewReader(`{"version":1,"patterns":[{"cells":[],"nm":0}]}`), nil); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	// Validator rejects out-of-grid cells.
+	g := grid.NewSquare(2)
+	in := `{"version":1,"patterns":[{"cells":[99],"nm":0}]}`
+	if _, err := ReadPatterns(strings.NewReader(in), func(p Pattern) error { return p.Validate(g) }); err == nil {
+		t.Error("out-of-grid cell accepted")
+	}
+}
+
+func TestWritePatternsRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePatterns(&buf, []ScoredPattern{{Pattern: nil, NM: 0}}); err == nil {
+		t.Error("empty pattern accepted on write")
+	}
+}
+
+func TestLoadPatternsMissingFile(t *testing.T) {
+	if _, err := LoadPatterns(filepath.Join(t.TempDir(), "nope.json"), nil); err == nil {
+		t.Error("missing file accepted")
+	}
+}

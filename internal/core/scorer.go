@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"trajpattern/internal/grid"
+	"trajpattern/internal/stat"
+	"trajpattern/internal/traj"
+)
+
+// ProbMode selects the geometric interpretation of the paper's
+// Prob(l, σ, p, δ): the probability that the object's true location is
+// "within δ" of the pattern position p.
+type ProbMode int
+
+const (
+	// ProbBox integrates the location distribution over the axis-aligned
+	// square [p±δ]², the natural companion of the rectangular grid
+	// (gₓ = g_y = δ in the experiments). This is the default: it is exact
+	// under coordinate independence and an order of magnitude cheaper.
+	ProbBox ProbMode = iota
+	// ProbDisk integrates over the Euclidean disk of radius δ around p
+	// (Rice distribution), the literal reading of "at most δ away".
+	ProbDisk
+)
+
+// String implements fmt.Stringer.
+func (m ProbMode) String() string {
+	switch m {
+	case ProbBox:
+		return "box"
+	case ProbDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("ProbMode(%d)", int(m))
+	}
+}
+
+// DefaultLogFloor bounds per-position log-probabilities away from -Inf so
+// NM arithmetic stays finite when a cell has (numerically) zero probability.
+const DefaultLogFloor = -700 // ≈ log of the smallest positive float64
+
+// Config parameterizes NM/match scoring.
+type Config struct {
+	// Grid discretizes the space; its cell centers are the pattern
+	// positions. Required.
+	Grid *grid.Grid
+	// Delta is the indifference threshold δ. Must be positive. The paper
+	// sets δ to the grid cell size.
+	Delta float64
+	// Mode selects box or disk probability. Default ProbBox.
+	Mode ProbMode
+	// LogFloor clamps log Prob from below. Zero means DefaultLogFloor.
+	LogFloor float64
+	// Workers bounds the parallelism of batch NM evaluation. Zero means
+	// GOMAXPROCS.
+	Workers int
+	// DisableCache turns off the per-cell log-probability cache (used by
+	// the A3 ablation benchmark). Scoring results are identical either way.
+	DisableCache bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.LogFloor == 0 {
+		c.LogFloor = DefaultLogFloor
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Grid == nil {
+		return fmt.Errorf("core: Config.Grid is required")
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("core: Config.Delta must be > 0, got %v", c.Delta)
+	}
+	if c.LogFloor > 0 {
+		return fmt.Errorf("core: Config.LogFloor must be <= 0, got %v", c.LogFloor)
+	}
+	return nil
+}
+
+// Scorer evaluates the match and normalized-match measures of patterns
+// against a fixed dataset. It caches, per touched grid cell, the vector of
+// log Prob(lᵢ, σᵢ, cell, δ) over every snapshot of every trajectory, so the
+// NM of a candidate pattern reduces to windowed sums over cached vectors.
+//
+// A Scorer is safe for concurrent scoring after Prepare has been called for
+// all cells involved; the mining loop batches candidate evaluation through
+// ScoreAll which handles this automatically.
+type Scorer struct {
+	cfg  Config
+	data traj.Dataset
+
+	// Flattened snapshots: positions of trajectory t live at
+	// flat[offsets[t] : offsets[t+1]].
+	flat    []traj.Point
+	offsets []int
+
+	mu      sync.Mutex
+	cache   map[int][]float64 // cell index -> per-flat-position log prob
+	nmEvals int               // number of NM evaluations (for MinerStats)
+}
+
+// NewScorer validates the configuration and indexes the dataset. The
+// dataset must be non-empty and structurally valid.
+func NewScorer(data traj.Dataset, cfg Config) (*Scorer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Scorer{
+		cfg:     cfg,
+		data:    data,
+		offsets: make([]int, len(data)+1),
+		cache:   make(map[int][]float64),
+	}
+	for i, t := range data {
+		s.offsets[i+1] = s.offsets[i] + len(t)
+	}
+	s.flat = make([]traj.Point, 0, s.offsets[len(data)])
+	for _, t := range data {
+		s.flat = append(s.flat, t...)
+	}
+	return s, nil
+}
+
+// Config returns the scoring configuration (with defaults applied).
+func (s *Scorer) Config() Config { return s.cfg }
+
+// Dataset returns the dataset the scorer was built over.
+func (s *Scorer) Dataset() traj.Dataset { return s.data }
+
+// NumTrajectories returns |𝒟|.
+func (s *Scorer) NumTrajectories() int { return len(s.data) }
+
+// logProb computes log Prob(l, σ, p, δ) for a single snapshot/cell pair,
+// clamped to the configured floor.
+func (s *Scorer) logProb(pt traj.Point, cell int) float64 {
+	c := s.cfg.Grid.CenterAt(cell)
+	var prob float64
+	switch s.cfg.Mode {
+	case ProbDisk:
+		prob = stat.DiskProb2D(pt.Mean.X, pt.Mean.Y, pt.Sigma, c.X, c.Y, s.cfg.Delta)
+	default:
+		prob = stat.BoxProb2D(pt.Mean.X, pt.Mean.Y, pt.Sigma, c.X, c.Y, s.cfg.Delta)
+	}
+	lp := math.Log(prob)
+	if lp < s.cfg.LogFloor || math.IsNaN(lp) {
+		return s.cfg.LogFloor
+	}
+	return lp
+}
+
+// cellLogProbs returns the per-flat-position log-prob vector for cell,
+// computing and caching it on first use. Callers must not mutate the
+// result.
+func (s *Scorer) cellLogProbs(cell int) []float64 {
+	if !s.cfg.DisableCache {
+		s.mu.Lock()
+		if v, ok := s.cache[cell]; ok {
+			s.mu.Unlock()
+			return v
+		}
+		s.mu.Unlock()
+	}
+	v := make([]float64, len(s.flat))
+	for i, pt := range s.flat {
+		v[i] = s.logProb(pt, cell)
+	}
+	if !s.cfg.DisableCache {
+		s.mu.Lock()
+		s.cache[cell] = v
+		s.mu.Unlock()
+	}
+	return v
+}
+
+// Prepare precomputes the log-prob vectors for the given cells so that
+// subsequent concurrent scoring never writes the cache. It is idempotent.
+func (s *Scorer) Prepare(cells []int) {
+	for _, c := range cells {
+		s.cellLogProbs(c)
+	}
+}
+
+// CacheSize returns the number of cells with materialized log-prob vectors.
+func (s *Scorer) CacheSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// NMEvaluations returns how many pattern NM evaluations this scorer has
+// performed, the dominant cost term of the complexity analysis (§4.4).
+func (s *Scorer) NMEvaluations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nmEvals
+}
+
+// scratchPool recycles the window-sum accumulators of logMatchWindows.
+var scratchPool = sync.Pool{
+	New: func() any {
+		buf := make([]float64, 0, 256)
+		return &buf
+	},
+}
+
+// logMatchWindows returns, for trajectory ti, the maximum window sum of
+// log Prob for pattern p (i.e. max log M(P,T')), or (floor·len(p), false)
+// if the trajectory is shorter than the pattern. The scan accumulates all
+// window sums position-by-position over contiguous slices — the innermost
+// loop of the whole miner — rather than window-by-window, which keeps the
+// memory access sequential and lets the compiler eliminate bounds checks.
+func (s *Scorer) logMatchWindows(p Pattern, ti int, vecs [][]float64) (float64, bool) {
+	start, end := s.offsets[ti], s.offsets[ti+1]
+	m := len(p)
+	if end-start < m {
+		return s.cfg.LogFloor * float64(m), false
+	}
+	nw := end - start - m + 1
+
+	bufp := scratchPool.Get().(*[]float64)
+	defer scratchPool.Put(bufp)
+	if cap(*bufp) < nw {
+		*bufp = make([]float64, nw)
+	}
+	acc := (*bufp)[:nw]
+	copy(acc, vecs[0][start:start+nw])
+	for j := 1; j < m; j++ {
+		v := vecs[j][start+j : start+j+nw]
+		for i, x := range v {
+			acc[i] += x
+		}
+	}
+	best := acc[0]
+	for _, v := range acc[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// vectors gathers the cached log-prob vectors for each pattern position.
+func (s *Scorer) vectors(p Pattern) [][]float64 {
+	vecs := make([][]float64, len(p))
+	for j, cell := range p {
+		vecs[j] = s.cellLogProbs(cell)
+	}
+	return vecs
+}
+
+// NMTrajectory returns NM(P, T) for trajectory index ti: the maximum
+// normalized match over all windows of T with the pattern's length
+// (Equation 4). Trajectories shorter than the pattern contribute the floor
+// value (the worst possible NM), keeping the min-max property intact.
+func (s *Scorer) NMTrajectory(p Pattern, ti int) float64 {
+	if len(p) == 0 {
+		panic("core: NM of empty pattern")
+	}
+	logM, _ := s.logMatchWindows(p, ti, s.vectors(p))
+	return logM / float64(len(p))
+}
+
+// NM returns the normalized match of p in the whole dataset:
+// Σ_T NM(P, T) (Section 3.3). Larger (closer to zero) is better.
+func (s *Scorer) NM(p Pattern) float64 {
+	if len(p) == 0 {
+		panic("core: NM of empty pattern")
+	}
+	vecs := s.vectors(p)
+	var sum float64
+	for ti := range s.data {
+		logM, _ := s.logMatchWindows(p, ti, vecs)
+		sum += logM / float64(len(p))
+	}
+	s.mu.Lock()
+	s.nmEvals++
+	s.mu.Unlock()
+	return sum
+}
+
+// MatchTrajectory returns M(P, T) for trajectory ti: the maximum joint
+// probability over windows (Equation 2 with the max of Equation 4 applied
+// to the unnormalized measure, as in [14]). Trajectories shorter than the
+// pattern contribute 0.
+func (s *Scorer) MatchTrajectory(p Pattern, ti int) float64 {
+	if len(p) == 0 {
+		panic("core: match of empty pattern")
+	}
+	logM, ok := s.logMatchWindows(p, ti, s.vectors(p))
+	if !ok {
+		return 0
+	}
+	return math.Exp(logM)
+}
+
+// Match returns the match of p in the whole dataset: Σ_T M(P, T), the
+// measure of [14] that the paper compares against.
+func (s *Scorer) Match(p Pattern) float64 {
+	if len(p) == 0 {
+		panic("core: match of empty pattern")
+	}
+	vecs := s.vectors(p)
+	var sum float64
+	for ti := range s.data {
+		logM, ok := s.logMatchWindows(p, ti, vecs)
+		if ok {
+			sum += math.Exp(logM)
+		}
+	}
+	return sum
+}
+
+// ScoreAll evaluates NM for every pattern concurrently and returns the
+// values in input order. It first materializes the log-prob vectors of all
+// touched cells (serially), then fans the window scans out over
+// cfg.Workers goroutines.
+func (s *Scorer) ScoreAll(patterns []Pattern) []float64 {
+	cells := make(map[int]struct{})
+	for _, p := range patterns {
+		for _, c := range p {
+			cells[c] = struct{}{}
+		}
+	}
+	order := make([]int, 0, len(cells))
+	for c := range cells {
+		order = append(order, c)
+	}
+	sort.Ints(order)
+	s.Prepare(order)
+
+	out := make([]float64, len(patterns))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = s.NM(patterns[i])
+			}
+		}()
+	}
+	for i := range patterns {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Append adds trajectories to the dataset in place, extending every
+// cached per-cell log-probability vector with the new snapshots instead of
+// recomputing it — the incremental path for a server that keeps receiving
+// traces. Scores evaluated after Append are identical to those of a scorer
+// built over the combined dataset. Append must not run concurrently with
+// scoring.
+func (s *Scorer) Append(trs ...traj.Trajectory) error {
+	for i, t := range trs {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("core: appended trajectory %d: %w", i, err)
+		}
+	}
+	for _, t := range trs {
+		s.data = append(s.data, t)
+		s.offsets = append(s.offsets, s.offsets[len(s.offsets)-1]+len(t))
+		s.flat = append(s.flat, t...)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for cell, vec := range s.cache {
+		start := len(vec)
+		grown := append(vec, make([]float64, len(s.flat)-start)...)
+		for i := start; i < len(s.flat); i++ {
+			grown[i] = s.logProb(s.flat[i], cell)
+		}
+		s.cache[cell] = grown
+	}
+	return nil
+}
+
+// BestSingularLogProb returns, for each trajectory, the maximum cached
+// log-prob over the given cells and all window positions. The PB baseline
+// uses it as its optimistic per-position bound. The result is indexed by
+// trajectory.
+func (s *Scorer) BestSingularLogProb(cells []int) []float64 {
+	out := make([]float64, len(s.data))
+	for ti := range s.data {
+		out[ti] = math.Inf(-1)
+	}
+	for _, c := range cells {
+		v := s.cellLogProbs(c)
+		for ti := range s.data {
+			for w := s.offsets[ti]; w < s.offsets[ti+1]; w++ {
+				if v[w] > out[ti] {
+					out[ti] = v[w]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ObservedCells returns the sorted flat indices of every cell that contains
+// at least one snapshot mean, expanded by ring cells of Chebyshev radius r.
+// Cells far from all data have NM equal to the floor sum and can never be
+// in the top k, so the miners use this as their default singular seed set.
+func (s *Scorer) ObservedCells(r int) []int {
+	set := make(map[int]struct{})
+	for _, pt := range s.flat {
+		idx := s.cfg.Grid.IndexOf(pt.Mean)
+		set[idx] = struct{}{}
+	}
+	if r > 0 {
+		base := make([]int, 0, len(set))
+		for c := range set {
+			base = append(base, c)
+		}
+		for _, c := range base {
+			for _, n := range s.cfg.Grid.Neighbors(c, r) {
+				set[n] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AllCells returns every cell index of the grid, the paper's literal
+// singular seed set.
+func (s *Scorer) AllCells() []int {
+	out := make([]int, s.cfg.Grid.NumCells())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

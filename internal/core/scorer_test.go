@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trajpattern/internal/grid"
+	"trajpattern/internal/stat"
+	"trajpattern/internal/traj"
+)
+
+// testScorer builds a scorer over the given dataset on an n×n unit-square
+// grid with δ equal to the cell size.
+func testScorer(t *testing.T, data traj.Dataset, n int) *Scorer {
+	t.Helper()
+	g := grid.NewSquare(n)
+	s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randomDataset generates a deterministic random dataset inside the unit
+// square.
+func randomDataset(seed uint64, nTraj, length int, sigma float64) traj.Dataset {
+	rng := stat.NewRNG(seed)
+	d := make(traj.Dataset, nTraj)
+	for i := range d {
+		tr := make(traj.Trajectory, length)
+		for j := range tr {
+			tr[j] = traj.P(rng.Float64(), rng.Float64(), sigma)
+		}
+		d[i] = tr
+	}
+	return d
+}
+
+func TestNewScorerValidation(t *testing.T) {
+	g := grid.NewSquare(4)
+	good := traj.Dataset{{traj.P(0.5, 0.5, 0.1)}}
+	if _, err := NewScorer(good, Config{Grid: nil, Delta: 0.1}); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := NewScorer(good, Config{Grid: g, Delta: 0}); err == nil {
+		t.Error("zero delta accepted")
+	}
+	if _, err := NewScorer(good, Config{Grid: g, Delta: 0.1, LogFloor: 1}); err == nil {
+		t.Error("positive log floor accepted")
+	}
+	if _, err := NewScorer(nil, Config{Grid: g, Delta: 0.1}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	bad := traj.Dataset{{traj.P(0, 0, -1)}}
+	if _, err := NewScorer(bad, Config{Grid: g, Delta: 0.1}); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}
+
+func TestNMSingularAgainstDirectComputation(t *testing.T) {
+	// One trajectory with one snapshot: NM of a singular pattern is just
+	// log Prob(l, σ, cell, δ).
+	data := traj.Dataset{{traj.P(0.55, 0.55, 0.1)}}
+	s := testScorer(t, data, 10)
+	cell := s.Config().Grid.IndexOf(data[0][0].Mean)
+	c := s.Config().Grid.CenterAt(cell)
+	want := math.Log(stat.BoxProb2D(0.55, 0.55, 0.1, c.X, c.Y, s.Config().Delta))
+	if got := s.NM(Pattern{cell}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("NM = %v, want %v", got, want)
+	}
+}
+
+func TestNMWindowMaximization(t *testing.T) {
+	// Pattern of two cells matching exactly the tail of the trajectory;
+	// NM(P,T) must pick the best window, not the first.
+	g := grid.NewSquare(4)
+	a := g.CenterAt(5)  // cell (1,1)
+	b := g.CenterAt(10) // cell (2,2)
+	far := g.CenterAt(0)
+	data := traj.Dataset{{
+		{Mean: far, Sigma: 0.05},
+		{Mean: far, Sigma: 0.05},
+		{Mean: a, Sigma: 0.05},
+		{Mean: b, Sigma: 0.05},
+	}}
+	s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pattern{5, 10}
+	got := s.NMTrajectory(p, 0)
+	// The perfect window: both positions centered on their cells.
+	lp := math.Log(stat.BoxProb2D(a.X, a.Y, 0.05, a.X, a.Y, g.CellWidth()))
+	want := lp // average of two identical log-probs
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("windowed NM = %v, want %v", got, want)
+	}
+}
+
+func TestNMShortTrajectoryUsesFloor(t *testing.T) {
+	data := traj.Dataset{{traj.P(0.5, 0.5, 0.1)}} // length 1
+	s := testScorer(t, data, 4)
+	p := Pattern{0, 1, 2} // length 3 > trajectory
+	got := s.NM(p)
+	if got != s.Config().LogFloor {
+		t.Errorf("short-trajectory NM = %v, want floor %v", got, s.Config().LogFloor)
+	}
+}
+
+func TestMatchApriori(t *testing.T) {
+	// The match measure keeps the Apriori property: extending a pattern
+	// never increases its match (Section 3.3).
+	data := randomDataset(1, 5, 20, 0.08)
+	s := testScorer(t, data, 5)
+	rng := stat.NewRNG(2)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(4)
+		p := make(Pattern, n)
+		for i := range p {
+			p[i] = rng.Intn(25)
+		}
+		ext := p.Concat(Pattern{rng.Intn(25)})
+		if s.Match(ext) > s.Match(p)+1e-12 {
+			t.Fatalf("Apriori violated: match(%v)=%v > match(%v)=%v",
+				ext, s.Match(ext), p, s.Match(p))
+		}
+	}
+}
+
+func TestNMAprioriCounterexample(t *testing.T) {
+	// The paper's motivation: NM does NOT obey Apriori. Construct a case
+	// where extending a pattern increases NM: a weak singular followed by
+	// a strong singular has higher average log-prob than the weak one
+	// alone.
+	g := grid.NewSquare(4)
+	weak := g.CenterAt(5)
+	strong := g.CenterAt(10)
+	data := traj.Dataset{{
+		{Mean: weak.Add(weak.Sub(g.CenterAt(10)).Unit().Scale(0.12)), Sigma: 0.05}, // offset from cell 5
+		{Mean: strong, Sigma: 0.02}, // dead center of cell 10
+	}}
+	s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := Pattern{5}
+	super := Pattern{5, 10}
+	if !(s.NM(super) > s.NM(sub)) {
+		t.Errorf("expected NM(super)=%v > NM(sub)=%v (Apriori must fail for NM)",
+			s.NM(super), s.NM(sub))
+	}
+}
+
+func TestMinMaxProperty(t *testing.T) {
+	// Property 1: NM(P'·P'') <= max(NM(P'), NM(P'')) on random data and
+	// random splits.
+	data := randomDataset(3, 4, 15, 0.1)
+	s := testScorer(t, data, 4)
+	rng := stat.NewRNG(4)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		p := make(Pattern, n)
+		for i := range p {
+			p[i] = rng.Intn(16)
+		}
+		cut := 1 + rng.Intn(n-1)
+		left, right := p[:cut], p[cut:]
+		nm := s.NM(p)
+		bound := math.Max(s.NM(left), s.NM(right))
+		if nm > bound+1e-9 {
+			t.Fatalf("min-max violated: NM(%v)=%v > max(%v, %v)=%v",
+				p, nm, left, right, bound)
+		}
+	}
+}
+
+func TestScoreAllMatchesIndividual(t *testing.T) {
+	data := randomDataset(5, 6, 12, 0.1)
+	s := testScorer(t, data, 4)
+	patterns := []Pattern{{0}, {5, 6}, {1, 2, 3}, {15}, {8, 8}}
+	batch := s.ScoreAll(patterns)
+	for i, p := range patterns {
+		if ind := s.NM(p); math.Abs(batch[i]-ind) > 1e-12 {
+			t.Errorf("ScoreAll[%d]=%v != NM=%v", i, batch[i], ind)
+		}
+	}
+}
+
+func TestCacheTransparency(t *testing.T) {
+	data := randomDataset(6, 3, 10, 0.1)
+	g := grid.NewSquare(4)
+	withCache, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCache, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth(), DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pattern{3, 7, 11}
+	if a, b := withCache.NM(p), noCache.NM(p); a != b {
+		t.Errorf("cache changed result: %v vs %v", a, b)
+	}
+	if withCache.CacheSize() == 0 {
+		t.Error("cache not populated")
+	}
+	if noCache.CacheSize() != 0 {
+		t.Error("disabled cache populated")
+	}
+}
+
+func TestProbModesBothValid(t *testing.T) {
+	data := randomDataset(7, 3, 10, 0.1)
+	g := grid.NewSquare(4)
+	box, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth(), Mode: ProbDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pattern{5, 6}
+	bNM, dNM := box.NM(p), disk.NM(p)
+	// Disk of radius δ is contained in the box of half-width δ, so the
+	// disk NM is never larger.
+	if dNM > bNM+1e-9 {
+		t.Errorf("disk NM %v > box NM %v", dNM, bNM)
+	}
+	// Both are valid finite log values.
+	if math.IsNaN(bNM) || math.IsNaN(dNM) || bNM > 0 || dNM > 0 {
+		t.Errorf("invalid NM values: box %v disk %v", bNM, dNM)
+	}
+}
+
+func TestObservedCells(t *testing.T) {
+	data := traj.Dataset{{traj.P(0.05, 0.05, 0.01)}} // lower-left cell only
+	s := testScorer(t, data, 10)
+	cells := s.ObservedCells(0)
+	if len(cells) != 1 || cells[0] != 0 {
+		t.Errorf("ObservedCells(0) = %v", cells)
+	}
+	// With one ring: 0 and its 3 corner neighbors.
+	cells = s.ObservedCells(1)
+	if len(cells) != 4 {
+		t.Errorf("ObservedCells(1) = %v", cells)
+	}
+	if got := s.AllCells(); len(got) != 100 || got[99] != 99 {
+		t.Errorf("AllCells = %d cells", len(got))
+	}
+}
+
+func TestBestSingularLogProb(t *testing.T) {
+	data := traj.Dataset{
+		{traj.P(0.55, 0.55, 0.05), traj.P(0.85, 0.85, 0.05)},
+		{traj.P(0.15, 0.15, 0.05)},
+	}
+	s := testScorer(t, data, 10)
+	cells := s.ObservedCells(0)
+	best := s.BestSingularLogProb(cells)
+	if len(best) != 2 {
+		t.Fatalf("len = %d", len(best))
+	}
+	// Each trajectory's best over its own observed cells must equal its
+	// best singular NM.
+	for ti := range data {
+		var want float64 = math.Inf(-1)
+		for _, c := range cells {
+			if v := s.NMTrajectory(Pattern{c}, ti); v > want {
+				want = v
+			}
+		}
+		if math.Abs(best[ti]-want) > 1e-12 {
+			t.Errorf("traj %d: best %v != max singular NM %v", ti, best[ti], want)
+		}
+	}
+}
+
+func TestAppendMatchesRebuild(t *testing.T) {
+	base := randomDataset(41, 4, 10, 0.1)
+	extra := randomDataset(42, 3, 12, 0.1)
+	g := grid.NewSquare(4)
+	cfg := Config{Grid: g, Delta: g.CellWidth()}
+
+	inc, err := NewScorer(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch the cache before appending so the extension path is exercised.
+	p := Pattern{3, 7, 11}
+	before := inc.NM(p)
+	if err := inc.Append(extra...); err != nil {
+		t.Fatal(err)
+	}
+	after := inc.NM(p)
+
+	combined := append(append(traj.Dataset{}, base...), extra...)
+	fresh, err := NewScorer(combined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fresh.NM(p); math.Abs(after-want) > 1e-12 {
+		t.Errorf("incremental NM %v != rebuilt %v", after, want)
+	}
+	if after == before {
+		t.Error("append had no effect on the score")
+	}
+	// Additivity: the appended trajectories only add (negative) terms.
+	if after > before {
+		t.Errorf("NM grew after append: %v -> %v", before, after)
+	}
+	// Per-trajectory scores for the new data match the rebuilt scorer.
+	for ti := len(base); ti < len(combined); ti++ {
+		if a, b := inc.NMTrajectory(p, ti), fresh.NMTrajectory(p, ti); math.Abs(a-b) > 1e-12 {
+			t.Errorf("traj %d: %v vs %v", ti, a, b)
+		}
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s := testScorer(t, randomDataset(43, 2, 6, 0.1), 4)
+	if err := s.Append(traj.Trajectory{traj.P(0, 0, -1)}); err == nil {
+		t.Error("invalid appended trajectory accepted")
+	}
+	if s.NumTrajectories() != 2 {
+		t.Error("failed append mutated the dataset")
+	}
+}
+
+func TestNMEmptyPatternPanics(t *testing.T) {
+	s := testScorer(t, randomDataset(8, 2, 5, 0.1), 4)
+	for _, f := range []func(){
+		func() { s.NM(nil) },
+		func() { s.Match(nil) },
+		func() { s.NMTrajectory(nil, 0) },
+		func() { s.MatchTrajectory(nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on empty pattern")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: NM is always <= 0 (probabilities never exceed 1) and >= floor.
+func TestQuickNMBounds(t *testing.T) {
+	data := randomDataset(9, 3, 10, 0.1)
+	s := testScorer(t, data, 4)
+	floor := s.Config().LogFloor * float64(len(data))
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		p := make(Pattern, len(raw))
+		for i, v := range raw {
+			p[i] = int(v) % 16
+		}
+		nm := s.NM(p)
+		return nm <= 1e-12 && nm >= floor-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (full min-max over random datasets too, not just one fixture).
+func TestQuickMinMaxProperty(t *testing.T) {
+	f := func(seed uint64, rawP []uint8, cutRaw uint8) bool {
+		if len(rawP) < 2 || len(rawP) > 6 {
+			return true
+		}
+		data := randomDataset(seed, 2, 8, 0.15)
+		g := grid.NewSquare(3)
+		s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+		if err != nil {
+			return false
+		}
+		p := make(Pattern, len(rawP))
+		for i, v := range rawP {
+			p[i] = int(v) % 9
+		}
+		cut := 1 + int(cutRaw)%(len(p)-1)
+		bound := math.Max(s.NM(p[:cut]), s.NM(p[cut:]))
+		return s.NM(p) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

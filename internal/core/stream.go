@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"trajpattern/internal/traj"
+)
+
+// This file implements the §4.4 space observation: "it is not necessary to
+// load the entire input data set at once since we only need a portion of
+// the data set at a time for computing the NM". StreamNM evaluates
+// patterns against a dataset that is visited trajectory by trajectory
+// through a cursor, holding only one trajectory's probability vectors at a
+// time — O(M + L·m) working memory instead of the resident scorer's
+// O(G·N·L) cache.
+
+// Cursor yields the trajectories of a dataset one at a time. Next returns
+// (nil, nil) after the last trajectory; Reset restarts the iteration. A
+// cursor implementation typically streams a JSON-lines file.
+type Cursor interface {
+	Next() (traj.Trajectory, error)
+	Reset() error
+}
+
+// SliceCursor adapts an in-memory dataset to the Cursor interface.
+type SliceCursor struct {
+	data traj.Dataset
+	pos  int
+}
+
+// NewSliceCursor returns a cursor over d.
+func NewSliceCursor(d traj.Dataset) *SliceCursor { return &SliceCursor{data: d} }
+
+// Next implements Cursor.
+func (c *SliceCursor) Next() (traj.Trajectory, error) {
+	if c.pos >= len(c.data) {
+		return nil, nil
+	}
+	t := c.data[c.pos]
+	c.pos++
+	return t, nil
+}
+
+// Reset implements Cursor.
+func (c *SliceCursor) Reset() error {
+	c.pos = 0
+	return nil
+}
+
+// FileCursor streams trajectories from a JSON-lines file without keeping
+// previously read trajectories alive.
+type FileCursor struct {
+	path string
+	r    *traj.Reader
+}
+
+// NewFileCursor returns a cursor over the JSON-lines dataset at path.
+func NewFileCursor(path string) *FileCursor {
+	return &FileCursor{path: path}
+}
+
+// Next implements Cursor.
+func (c *FileCursor) Next() (traj.Trajectory, error) {
+	if c.r == nil {
+		r, err := traj.OpenReader(c.path)
+		if err != nil {
+			return nil, err
+		}
+		c.r = r
+	}
+	return c.r.Next()
+}
+
+// Reset implements Cursor: it closes the current scan so the next call to
+// Next reopens the file from the beginning.
+func (c *FileCursor) Reset() error {
+	if c.r == nil {
+		return nil
+	}
+	err := c.r.Close()
+	c.r = nil
+	return err
+}
+
+// StreamNM computes NM(p) for every pattern in one pass over the cursor,
+// holding only the current trajectory in memory. The scoring configuration
+// (grid, δ, mode, floor) is taken from cfg, which is validated exactly as
+// NewScorer validates it. Results are indexed like patterns.
+//
+// One pass evaluates all patterns against each trajectory before moving
+// on, so the I/O cost is a single scan regardless of len(patterns).
+func StreamNM(cur Cursor, cfg Config, patterns []Pattern) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	for i, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("core: empty pattern at index %d", i)
+		}
+		if err := p.Validate(cfg.Grid); err != nil {
+			return nil, fmt.Errorf("core: pattern %d: %w", i, err)
+		}
+	}
+	if err := cur.Reset(); err != nil {
+		return nil, err
+	}
+
+	// The per-trajectory evaluation reuses the resident scorer on a
+	// one-trajectory dataset, so the window scan and probability code
+	// paths are shared (and tested) once.
+	sums := make([]float64, len(patterns))
+	n := 0
+	for {
+		t, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			break
+		}
+		if len(t) == 0 {
+			continue
+		}
+		one, err := NewScorer(traj.Dataset{t}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range patterns {
+			sums[i] += one.NMTrajectory(p, 0)
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	return sums, nil
+}

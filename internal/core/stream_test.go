@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"trajpattern/internal/grid"
+	"trajpattern/internal/traj"
+)
+
+func TestStreamNMMatchesResidentScorer(t *testing.T) {
+	data := randomDataset(21, 6, 15, 0.1)
+	g := grid.NewSquare(4)
+	cfg := Config{Grid: g, Delta: g.CellWidth()}
+	s, err := NewScorer(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := []Pattern{{0}, {5, 6}, {1, 2, 3}, {15, 15, 15, 15}}
+	want := make([]float64, len(patterns))
+	for i, p := range patterns {
+		want[i] = s.NM(p)
+	}
+	got, err := StreamNM(NewSliceCursor(data), cfg, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("pattern %d: streamed %v vs resident %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamNMFileCursor(t *testing.T) {
+	data := randomDataset(22, 4, 12, 0.1)
+	path := filepath.Join(t.TempDir(), "ds.jsonl")
+	if err := traj.WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	g := grid.NewSquare(4)
+	cfg := Config{Grid: g, Delta: g.CellWidth()}
+	patterns := []Pattern{{3}, {7, 11}}
+
+	cur := NewFileCursor(path)
+	got, err := StreamNM(cur, cfg, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScorer(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range patterns {
+		if want := s.NM(p); math.Abs(got[i]-want) > 1e-12 {
+			t.Errorf("pattern %d: %v vs %v", i, got[i], want)
+		}
+	}
+	// A second pass after Reset must give the same answer (the cursor
+	// reopens the file).
+	got2, err := StreamNM(cur, cfg, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Error("second pass differs")
+		}
+	}
+}
+
+func TestStreamNMValidation(t *testing.T) {
+	data := randomDataset(23, 2, 8, 0.1)
+	g := grid.NewSquare(4)
+	cfg := Config{Grid: g, Delta: g.CellWidth()}
+	if _, err := StreamNM(NewSliceCursor(data), cfg, []Pattern{{}}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := StreamNM(NewSliceCursor(data), cfg, []Pattern{{99}}); err == nil {
+		t.Error("out-of-grid pattern accepted")
+	}
+	if _, err := StreamNM(NewSliceCursor(nil), cfg, []Pattern{{0}}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := StreamNM(NewSliceCursor(data), Config{Grid: g, Delta: 0}, []Pattern{{0}}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := StreamNM(NewFileCursor("/nonexistent/x.jsonl"), cfg, []Pattern{{0}}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSliceCursor(t *testing.T) {
+	data := randomDataset(24, 3, 5, 0.1)
+	c := NewSliceCursor(data)
+	count := 0
+	for {
+		tr, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr == nil {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Errorf("cursor yielded %d trajectories", count)
+	}
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if tr, err := c.Next(); err != nil || tr == nil {
+		t.Error("reset cursor empty")
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"trajpattern/internal/grid"
+	"trajpattern/internal/traj"
+)
+
+func TestWildPatternBasics(t *testing.T) {
+	p := WildPattern{3, Wildcard, Wildcard, 7}
+	if p.SpecifiedLen() != 2 {
+		t.Errorf("SpecifiedLen = %d", p.SpecifiedLen())
+	}
+	if p.MaxConsecutiveWildcards() != 2 {
+		t.Errorf("MaxConsecutiveWildcards = %d", p.MaxConsecutiveWildcards())
+	}
+	if p.String() != "3,*,*,7" {
+		t.Errorf("String = %q", p.String())
+	}
+	if (WildPattern{1, 2}).MaxConsecutiveWildcards() != 0 {
+		t.Error("no-wildcard run should be 0")
+	}
+}
+
+func TestNMWildValidation(t *testing.T) {
+	s := testScorer(t, randomDataset(1, 2, 8, 0.1), 4)
+	if _, err := s.NMWild(WildPattern{Wildcard, Wildcard}); err == nil {
+		t.Error("all-wildcard pattern accepted")
+	}
+	if _, err := s.NMWild(WildPattern{Wildcard, 3}); err == nil {
+		t.Error("leading wildcard accepted")
+	}
+	if _, err := s.NMWild(WildPattern{3, Wildcard}); err == nil {
+		t.Error("trailing wildcard accepted")
+	}
+}
+
+func TestNMWildNoWildcardsMatchesNM(t *testing.T) {
+	s := testScorer(t, randomDataset(2, 4, 10, 0.1), 4)
+	p := Pattern{3, 7, 11}
+	wp := WildPattern{3, 7, 11}
+	got, err := s.NMWild(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := s.NM(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("NMWild = %v, NM = %v", got, want)
+	}
+}
+
+func TestNMWildSkipsNoisyMiddle(t *testing.T) {
+	// Four trajectories walk A, noiseᵢ, B where the middle cell differs
+	// per trajectory (the four corners). Any exact 3-pattern A,?,B can
+	// match at most one trajectory's middle; A,*,B matches all four.
+	g := grid.NewSquare(4)
+	a, b := 5, 10
+	ca, cb := g.CenterAt(a), g.CenterAt(b)
+	var data traj.Dataset
+	for _, noise := range []int{0, 3, 12, 15} {
+		data = append(data, traj.Trajectory{
+			{Mean: ca, Sigma: 0.03},
+			{Mean: g.CenterAt(noise), Sigma: 0.03},
+			{Mean: cb, Sigma: 0.03},
+		})
+	}
+	s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wild, err := s.NMWild(WildPattern{a, Wildcard, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactBest := math.Inf(-1)
+	for mid := 0; mid < 16; mid++ {
+		if v := s.NM(Pattern{a, mid, b}); v > exactBest {
+			exactBest = v
+		}
+	}
+	if wild <= exactBest {
+		t.Errorf("wildcard NM %v should beat best exact middle %v", wild, exactBest)
+	}
+}
+
+func TestGapPatternValidation(t *testing.T) {
+	s := testScorer(t, randomDataset(3, 2, 10, 0.1), 4)
+	bad := []GapPattern{
+		{},
+		{Segments: []Pattern{{1}, {}}, MinGap: []int{0}, MaxGap: []int{1}},
+		{Segments: []Pattern{{1}, {2}}, MinGap: []int{0}, MaxGap: nil},
+		{Segments: []Pattern{{1}, {2}}, MinGap: []int{-1}, MaxGap: []int{1}},
+		{Segments: []Pattern{{1}, {2}}, MinGap: []int{2}, MaxGap: []int{1}},
+	}
+	for i, p := range bad {
+		if _, err := s.NMGap(p); err == nil {
+			t.Errorf("bad gap pattern %d accepted", i)
+		}
+	}
+}
+
+func TestNMGapZeroGapMatchesNM(t *testing.T) {
+	s := testScorer(t, randomDataset(4, 3, 12, 0.1), 4)
+	p := GapPattern{
+		Segments: []Pattern{{3, 7}, {11}},
+		MinGap:   []int{0},
+		MaxGap:   []int{0},
+	}
+	got, err := s.NMGap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := s.NM(Pattern{3, 7, 11}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("zero-gap NM = %v, contiguous NM = %v", got, want)
+	}
+}
+
+func TestNMGapFixedGapMatchesWildcards(t *testing.T) {
+	s := testScorer(t, randomDataset(5, 3, 12, 0.1), 4)
+	gp := GapPattern{
+		Segments: []Pattern{{3}, {11}},
+		MinGap:   []int{2},
+		MaxGap:   []int{2},
+	}
+	got, err := s.NMGap(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.NMWild(WildPattern{3, Wildcard, Wildcard, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("fixed-gap NM = %v, wildcard NM = %v", got, want)
+	}
+}
+
+func TestNMGapFlexibleBeatsFixed(t *testing.T) {
+	// A flexible gap can only do at least as well as any fixed gap within
+	// its bounds.
+	s := testScorer(t, randomDataset(6, 4, 15, 0.1), 4)
+	flex := GapPattern{Segments: []Pattern{{3}, {11}}, MinGap: []int{0}, MaxGap: []int{3}}
+	flexNM, err := s.NMGap(flex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gap := 0; gap <= 3; gap++ {
+		fixed := GapPattern{Segments: []Pattern{{3}, {11}}, MinGap: []int{gap}, MaxGap: []int{gap}}
+		fixedNM, err := s.NMGap(fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fixedNM > flexNM+1e-9 {
+			t.Errorf("fixed gap %d NM %v beats flexible NM %v", gap, fixedNM, flexNM)
+		}
+	}
+}
+
+func TestNMGapShortTrajectoryFloor(t *testing.T) {
+	data := traj.Dataset{{traj.P(0.5, 0.5, 0.1), traj.P(0.5, 0.5, 0.1)}}
+	s := testScorer(t, data, 4)
+	gp := GapPattern{Segments: []Pattern{{5}, {5}}, MinGap: []int{3}, MaxGap: []int{5}}
+	got, err := s.NMGap(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s.Config().LogFloor {
+		t.Errorf("short trajectory gap NM = %v, want floor", got)
+	}
+}
+
+func TestMineWithWildcards(t *testing.T) {
+	// Repeating A, varying-noise, B walks: the wildcard refinement should
+	// produce patterns at least as good as the plain mined ones.
+	g := grid.NewSquare(4)
+	a, b := 5, 10
+	var data traj.Dataset
+	for _, noise := range []int{0, 3, 12, 15} {
+		var tr traj.Trajectory
+		for r := 0; r < 3; r++ {
+			tr = append(tr,
+				traj.Point{Mean: g.CenterAt(a), Sigma: 0.03},
+				traj.Point{Mean: g.CenterAt(noise), Sigma: 0.03},
+				traj.Point{Mean: g.CenterAt(b), Sigma: 0.03},
+			)
+		}
+		data = append(data, tr)
+	}
+	s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wild, plain, err := MineWithWildcards(s, MinerConfig{K: 5, MinLen: 2, MaxLen: 4, MaxLowQ: 20}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wild) != len(plain.Patterns) {
+		t.Fatalf("size mismatch: %d vs %d", len(wild), len(plain.Patterns))
+	}
+	// Sorted descending and each refined NM >= the best plain NM it came
+	// from is not guaranteed after re-ranking, but the best refined NM
+	// must be at least the best plain NM.
+	for i := 1; i < len(wild); i++ {
+		if wild[i].NM > wild[i-1].NM {
+			t.Error("wild results not sorted")
+		}
+	}
+	if wild[0].NM < plain.Patterns[0].NM-1e-12 {
+		t.Errorf("refinement degraded the best pattern: %v < %v", wild[0].NM, plain.Patterns[0].NM)
+	}
+	if _, _, err := MineWithWildcards(s, MinerConfig{K: 2, MaxLen: 3}, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestExpandWithWildcards(t *testing.T) {
+	// Data walks A, noise, B repeatedly: expansion should insert a star.
+	g := grid.NewSquare(4)
+	a, b := 5, 10
+	var tr traj.Trajectory
+	for r := 0; r < 4; r++ {
+		tr = append(tr,
+			traj.Point{Mean: g.CenterAt(a), Sigma: 0.03},
+			traj.Point{Mean: g.CenterAt(0), Sigma: 0.03},
+			traj.Point{Mean: g.CenterAt(b), Sigma: 0.03},
+		)
+	}
+	s, err := NewScorer(traj.Dataset{tr}, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, nm, err := s.ExpandWithWildcards(Pattern{a, b}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.String() != "5,*,10" {
+		t.Errorf("expanded = %q, want 5,*,10", wp.String())
+	}
+	base, err := s.NMWild(WildPattern{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm <= base {
+		t.Errorf("expansion did not improve NM: %v vs %v", nm, base)
+	}
+	// Budget 0 returns the pattern unchanged.
+	wp0, _, err := s.ExpandWithWildcards(Pattern{a, b}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp0.String() != "5,10" {
+		t.Errorf("zero budget changed pattern: %q", wp0.String())
+	}
+	if _, _, err := s.ExpandWithWildcards(nil, 1); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, _, err := s.ExpandWithWildcards(Pattern{a}, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}

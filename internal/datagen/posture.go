@@ -1,0 +1,149 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"trajpattern/internal/geom"
+	"trajpattern/internal/stat"
+	"trajpattern/internal/traj"
+)
+
+// PostureConfig parameterizes the human-posture dataset simulator. §6.1
+// mentions a second real data set of human postures with "similar results"
+// but omits it for space; since those recordings are unavailable, this
+// generator produces the same structure: each subject's posture, embedded
+// as a 2-D point (e.g. the two leading components of a joint-angle
+// vector), follows cyclic activity loops (gait cycles) interleaved with
+// activity switches, observed through sensor noise.
+type PostureConfig struct {
+	NumSubjects int     // trajectories (default 50)
+	Length      int     // snapshots per subject (default 120)
+	Activities  int     // distinct cyclic activities shared by subjects (default 4)
+	CycleLen    int     // postures per activity cycle (default 6)
+	SwitchProb  float64 // per-snapshot probability of switching activity (default 0.02)
+	SensorNoise float64 // observation noise std-dev (default 0.01)
+	Seed        uint64
+}
+
+func (c PostureConfig) withDefaults() PostureConfig {
+	if c.NumSubjects == 0 {
+		c.NumSubjects = 50
+	}
+	if c.Length == 0 {
+		c.Length = 120
+	}
+	if c.Activities == 0 {
+		c.Activities = 4
+	}
+	if c.CycleLen == 0 {
+		c.CycleLen = 6
+	}
+	if c.SwitchProb == 0 {
+		c.SwitchProb = 0.02
+	}
+	if c.SensorNoise == 0 {
+		c.SensorNoise = 0.01
+	}
+	return c
+}
+
+func (c PostureConfig) validate() error {
+	if c.NumSubjects < 1 || c.Length < 2 || c.Activities < 1 || c.CycleLen < 2 {
+		return fmt.Errorf("datagen: PostureConfig needs >=1 subject, Length >= 2, >=1 activity, CycleLen >= 2")
+	}
+	if c.SwitchProb < 0 || c.SwitchProb > 1 {
+		return fmt.Errorf("datagen: PostureConfig.SwitchProb must be in [0,1]")
+	}
+	if c.SensorNoise < 0 {
+		return fmt.Errorf("datagen: PostureConfig.SensorNoise must be >= 0")
+	}
+	return nil
+}
+
+// Postures generates the true posture-space paths of every subject. All
+// subjects share the same activity vocabulary, so common sequential
+// patterns (the gait cycles) exist across trajectories by construction.
+func Postures(cfg PostureConfig) ([][]geom.Point, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := stat.NewRNG(cfg.Seed)
+
+	// Activity loops: small rings around well-separated centers.
+	centers := activityCenters(cfg.Activities, rng)
+	loops := make([][]geom.Point, cfg.Activities)
+	for a := range loops {
+		r := rng.Uniform(0.06, 0.12)
+		loop := make([]geom.Point, cfg.CycleLen)
+		phase := rng.Uniform(0, 2*math.Pi)
+		for i := range loop {
+			th := phase + 2*math.Pi*float64(i)/float64(cfg.CycleLen)
+			loop[i] = geom.UnitSquare().Clamp(centers[a].Add(
+				geom.Pt(r*math.Cos(th), 0.6*r*math.Sin(th))))
+		}
+		loops[a] = loop
+	}
+
+	paths := make([][]geom.Point, cfg.NumSubjects)
+	for s := range paths {
+		srng := rng.Fork(uint64(s + 1))
+		act := srng.Intn(cfg.Activities)
+		phase := srng.Intn(cfg.CycleLen)
+		path := make([]geom.Point, cfg.Length)
+		for t := 0; t < cfg.Length; t++ {
+			if srng.Bool(cfg.SwitchProb) {
+				act = srng.Intn(cfg.Activities)
+				phase = 0
+			}
+			p := loops[act][phase%cfg.CycleLen]
+			path[t] = geom.UnitSquare().Clamp(p.Add(
+				geom.Pt(srng.Normal(0, cfg.SensorNoise), srng.Normal(0, cfg.SensorNoise))))
+			phase++
+		}
+		paths[s] = path
+	}
+	return paths, nil
+}
+
+// activityCenters spreads activity centers over the unit square on a
+// jittered grid so loops do not overlap.
+func activityCenters(n int, rng *stat.RNG) []geom.Point {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	centers := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		cx := (float64(i%side) + 0.5) / float64(side)
+		cy := (float64(i/side) + 0.5) / float64(side)
+		centers = append(centers, geom.Pt(
+			cx+rng.Uniform(-0.05, 0.05),
+			cy+rng.Uniform(-0.05, 0.05)))
+	}
+	return centers
+}
+
+// PostureDataset generates the imprecise dataset form of Postures with
+// σ = u/c, mirroring ZebraDataset.
+func PostureDataset(cfg PostureConfig, u, c float64) (traj.Dataset, error) {
+	if u <= 0 || c <= 0 {
+		return nil, fmt.Errorf("datagen: u and c must be > 0")
+	}
+	paths, err := Postures(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := stat.NewRNG(cfg.Seed ^ 0x9057)
+	sigma := u / c
+	ds := make(traj.Dataset, len(paths))
+	for i, path := range paths {
+		tr := make(traj.Trajectory, len(path))
+		for j, p := range path {
+			tr[j] = traj.Point{
+				Mean:  p.Add(geom.Pt(rng.Normal(0, sigma), rng.Normal(0, sigma))),
+				Sigma: sigma,
+			}
+		}
+		ds[i] = tr
+	}
+	return ds, nil
+}

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+
+	"trajpattern/internal/baseline"
+	"trajpattern/internal/core"
+	"trajpattern/internal/geom"
+	"trajpattern/internal/predict"
+	"trajpattern/internal/traj"
+)
+
+// E2Options parameterizes the Figure 3 prediction experiment.
+type E2Options struct {
+	Bus       BusOptions
+	K         int     // patterns to mine (default 60)
+	MinLen    int     // length floor (paper: 4)
+	MaxLen    int     // search cap (default 8)
+	ConfirmPr float64 // confirmation probability (paper: 0.9)
+	EvalU     float64 // mis-prediction tolerance (0 = the reporting U)
+}
+
+// E2ModelResult is one row of Figure 3.
+type E2ModelResult struct {
+	Model          string
+	BaseMis        int
+	NMReduction    float64
+	MatchReduction float64
+}
+
+// E2Result carries the Figure 3 numbers.
+type E2Result struct {
+	Models []E2ModelResult
+	Table  Table
+}
+
+// RunE2 reproduces Figure 3: mine top-k NM patterns and top-k match
+// patterns of length >= 4 on the training velocity trajectories, plug each
+// pattern set into the LM, LKF and RMF prediction modules via the
+// confirmation rule of §6.1, and report the relative reduction in
+// mis-predictions on the held-out traces. The paper reports 20–40%
+// reduction with NM patterns and 10–20% with match patterns.
+func RunE2(o E2Options) (*E2Result, error) {
+	if o.K == 0 {
+		o.K = 60
+	}
+	if o.Bus.BaseSpeed == 0 {
+		o.Bus.BaseSpeed = 0.03
+	}
+	if o.Bus.U == 0 {
+		o.Bus.U = 0.01
+	}
+	if o.EvalU == 0 {
+		o.EvalU = 0.015
+	}
+	if o.MinLen == 0 {
+		o.MinLen = 4
+	}
+	if o.MaxLen == 0 {
+		o.MaxLen = 8
+	}
+	if o.ConfirmPr == 0 {
+		o.ConfirmPr = 0.9
+	}
+	// E2 disables the fleet's fixed stops unless the caller configured
+	// them: long identical dwells concentrate the whole top-k on trivial
+	// stationary patterns (probability ≈ 1 cells), which predict nothing
+	// the base models do not already get right.
+	if o.Bus.Stops == 0 {
+		o.Bus.Stops = -1
+	}
+	data, err := MakeBusData(o.Bus)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hold out the most recent day of every bus (the paper's 450/50 split
+	// holds out whole traces; holding out a day keeps every route in both
+	// halves, which a prefix split does not — traces are ordered by
+	// route).
+	maxDay := 0
+	for _, tr := range data.Traces {
+		if tr.Day > maxDay {
+			maxDay = tr.Day
+		}
+	}
+	var trainVel traj.Dataset
+	var testPaths [][]geom.Point
+	for i, tr := range data.Traces {
+		if tr.Day == maxDay {
+			testPaths = append(testPaths, tr.Path)
+		} else {
+			trainVel = append(trainVel, data.Velocities[i])
+		}
+	}
+	if len(trainVel) == 0 || len(testPaths) == 0 {
+		return nil, fmt.Errorf("exp: train/test split degenerate (%d/%d)", len(trainVel), len(testPaths))
+	}
+
+	mkScorer := func(d traj.Dataset) (*core.Scorer, error) {
+		return core.NewScorer(d, core.Config{Grid: data.Grid, Delta: data.Grid.CellWidth()})
+	}
+
+	sNM, err := mkScorer(trainVel)
+	if err != nil {
+		return nil, err
+	}
+	nmRes, err := core.Mine(sNM, core.MinerConfig{K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K})
+	if err != nil {
+		return nil, err
+	}
+	nmPatterns := make([]core.Pattern, len(nmRes.Patterns))
+	for i, sp := range nmRes.Patterns {
+		nmPatterns[i] = sp.Pattern
+	}
+
+	sM, err := mkScorer(trainVel)
+	if err != nil {
+		return nil, err
+	}
+	mRes, err := baseline.MineMatch(sM, baseline.MatchConfig{K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen})
+	if err != nil {
+		return nil, err
+	}
+	matchPatterns := make([]core.Pattern, len(mRes.Patterns))
+	for i, sm := range mRes.Patterns {
+		matchPatterns[i] = sm.Pattern
+	}
+
+	sigma := trainVel.MeanSigma()
+	if sigma <= 0 {
+		return nil, fmt.Errorf("exp: degenerate velocity sigma")
+	}
+	// Confirmation runs against the device's own observed velocities, so
+	// its σ is the true per-step velocity noise — much tighter than the
+	// server-side σ of the mining input, whose 3σ radius would cover most
+	// of velocity space and confirm everything.
+	confSigma := data.TrueVelocitySigma()
+
+	models := []func() predict.Predictor{
+		func() predict.Predictor { return predict.NewLinear() },
+		func() predict.Predictor { return predict.NewKalman(1e-5, sigma*sigma) },
+		func() predict.Predictor { return predict.NewRMF(0, 0) },
+	}
+
+	res := &E2Result{}
+	res.Table = Table{
+		Title:   fmt.Sprintf("E2 (Figure 3): mis-prediction reduction, top-%d patterns of length ≥ %d", o.K, o.MinLen),
+		Columns: []string{"model", "base mis-pred", "NM reduction", "match reduction", "paper NM", "paper match"},
+	}
+	paperNM := []string{"≈0.30", "≈0.40", "≈0.20"}
+	paperM := []string{"≈0.15", "≈0.20", "≈0.10"}
+	evalU := o.EvalU
+	for mi, mk := range models {
+		base := mk()
+		baseEv, err := predict.Evaluate(base, testPaths, evalU)
+		if err != nil {
+			return nil, err
+		}
+		evalWith := func(pats []core.Pattern) (predict.Evaluation, error) {
+			// δ = 3σ: the paper's 90% joint confirmation probability is
+			// only reachable when the indifference radius covers the
+			// velocity noise (a one-cell δ almost never confirms).
+			pp := &predict.PatternPredictor{
+				Base:        mk(),
+				Patterns:    pats,
+				Grid:        data.Grid,
+				Delta:       3 * confSigma,
+				Sigma:       confSigma,
+				ConfirmProb: o.ConfirmPr,
+			}
+			if err := pp.Validate(); err != nil {
+				return predict.Evaluation{}, err
+			}
+			return predict.Evaluate(pp, testPaths, evalU)
+		}
+		nmEv, err := evalWith(nmPatterns)
+		if err != nil {
+			return nil, err
+		}
+		mEv, err := evalWith(matchPatterns)
+		if err != nil {
+			return nil, err
+		}
+		row := E2ModelResult{
+			Model:          base.Name(),
+			BaseMis:        baseEv.MisPredictions,
+			NMReduction:    predict.Reduction(baseEv, nmEv),
+			MatchReduction: predict.Reduction(baseEv, mEv),
+		}
+		res.Models = append(res.Models, row)
+		res.Table.Rows = append(res.Table.Rows, []string{
+			row.Model,
+			fmt.Sprintf("%d", row.BaseMis),
+			fmt.Sprintf("%.1f%%", row.NMReduction*100),
+			fmt.Sprintf("%.1f%%", row.MatchReduction*100),
+			paperNM[mi], paperM[mi],
+		})
+	}
+	return res, nil
+}

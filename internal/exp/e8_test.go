@@ -1,0 +1,43 @@
+package exp
+
+import "testing"
+
+func TestRunE8Shape(t *testing.T) {
+	res, err := RunE8(E8Options{Subjects: 12, Length: 40, K: 20, MinLen: 3, MaxLen: 6, GridN: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgLenNM < 3 || res.AvgLenMatch < 3 {
+		t.Errorf("averages below floor: %v / %v", res.AvgLenNM, res.AvgLenMatch)
+	}
+	// Unlike the bus data, the posture workload is near-periodic with
+	// homogeneous per-position probabilities, where NM's top-k pins at the
+	// length floor (a longer pattern only outranks its own sub-patterns
+	// when its endpoints are stronger than its middle). E8 therefore only
+	// reports the numbers; no ordering is asserted. See EXPERIMENTS.md.
+	if len(res.Table.Rows) != 2 {
+		t.Errorf("table rows = %d", len(res.Table.Rows))
+	}
+}
+
+func TestRunA4A5Shape(t *testing.T) {
+	if tb, err := RunA4(tinySweep()); err != nil || len(tb.Rows) != 4 {
+		t.Fatalf("A4: %v %+v", err, tb)
+	}
+	if tb, err := RunA5(tinySweep()); err != nil || len(tb.Rows) != 3 {
+		t.Fatalf("A5: %v %+v", err, tb)
+	}
+}
+
+func TestRunA6Shape(t *testing.T) {
+	tb, err := RunA6(tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][3] != "-" {
+		t.Error("first sweep point should have no slope")
+	}
+}

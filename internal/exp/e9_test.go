@@ -1,0 +1,17 @@
+package exp
+
+import "testing"
+
+func TestRunE9Shape(t *testing.T) {
+	res, err := RunE9(E9Options{Bus: tinyBus(), K: 6, MinLen: 2, MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < res.Majority {
+		t.Errorf("pattern classifier (%.2f) worse than majority baseline (%.2f)",
+			res.Accuracy, res.Majority)
+	}
+	if len(res.Table.Rows) < 2 {
+		t.Errorf("table rows = %d", len(res.Table.Rows))
+	}
+}

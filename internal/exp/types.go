@@ -1,0 +1,132 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 6) plus the ablations listed
+// in DESIGN.md, printing the same rows/series the paper reports.
+//
+// Experiment index:
+//
+//	E1 (§6.1 text)    — average length of top-k NM vs match patterns
+//	E2 (Figure 3)     — mis-prediction reduction for LM/LKF/RMF
+//	E3 (Figure 4(a))  — runtime vs k, TrajPattern vs PB
+//	E4 (Figure 4(b))  — runtime vs number of trajectories S
+//	E5 (Figure 4(c))  — runtime vs average trajectory length L
+//	E6 (Figure 4(d))  — runtime vs number of grids G
+//	E7 (Figure 4(e))  — number of pattern groups vs δ
+//	A1                — 1-extension pruning ablation
+//	A2                — box vs disk probability ablation
+//
+// Every experiment accepts a Scale in (0, 1] that shrinks the workload
+// proportionally, so the full suite runs in CI while the default scale
+// reproduces paper-comparable sizes.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table as aligned GitHub-flavored markdown.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a figure: one x-axis, one or more named lines.
+type Series struct {
+	Title  string
+	XLabel string
+	XS     []float64
+	Lines  []Line
+}
+
+// Line is one curve of a Series.
+type Line struct {
+	Name string
+	YS   []float64
+}
+
+// Table renders the series as a table with one row per x value.
+func (s Series) Table() Table {
+	cols := []string{s.XLabel}
+	for _, l := range s.Lines {
+		cols = append(cols, l.Name)
+	}
+	t := Table{Title: s.Title, Columns: cols}
+	for i, x := range s.XS {
+		row := []string{trimFloat(x)}
+		for _, l := range s.Lines {
+			if i < len(l.YS) {
+				row = append(row, trimFloat(l.YS[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// String renders the series via its table form.
+func (s Series) String() string { return s.Table().String() }
+
+func trimFloat(v float64) string {
+	out := fmt.Sprintf("%.4g", v)
+	return out
+}
+
+// scaleInt shrinks n by scale, keeping at least min.
+func scaleInt(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// checkScale validates a Scale field.
+func checkScale(scale float64) (float64, error) {
+	if scale == 0 {
+		return 1, nil
+	}
+	if scale < 0 || scale > 1 {
+		return 0, fmt.Errorf("exp: Scale must be in (0,1], got %v", scale)
+	}
+	return scale, nil
+}

@@ -1,0 +1,95 @@
+package predict
+
+import "trajpattern/internal/geom"
+
+// Adaptive selects among several base predictors online, using each
+// model's recent one-step prediction error. The paper's introduction
+// motivates exactly this weakness of fixed models: "most of the previous
+// proposed location prediction models assume one type of movement ...
+// however, a mobile object may change the type of movement at any time."
+// Adaptive tracks an exponentially decayed error per model and predicts
+// with the current best, so a switch from linear driving to curved motion
+// shifts weight from LM to RMF within a few observations.
+type Adaptive struct {
+	models []Predictor
+	decay  float64
+
+	errs    []float64    // decayed error per model
+	pending []geom.Point // each model's last prediction, to score on the next Observe
+	hasPred bool
+}
+
+// DefaultAdaptiveDecay is the per-step decay of historical errors.
+const DefaultAdaptiveDecay = 0.8
+
+// NewAdaptive returns an adaptive selector over the given models. With no
+// arguments it wraps the paper's three models (LM, LKF with mild noise
+// settings, RMF). decay in (0,1) weights recent errors; out-of-range
+// values select DefaultAdaptiveDecay.
+func NewAdaptive(decay float64, models ...Predictor) *Adaptive {
+	if decay <= 0 || decay >= 1 {
+		decay = DefaultAdaptiveDecay
+	}
+	if len(models) == 0 {
+		models = []Predictor{NewLinear(), NewKalman(1e-4, 1e-4), NewRMF(0, 0)}
+	}
+	return &Adaptive{
+		models:  models,
+		decay:   decay,
+		errs:    make([]float64, len(models)),
+		pending: make([]geom.Point, len(models)),
+	}
+}
+
+// Name implements Predictor.
+func (a *Adaptive) Name() string { return "Adaptive" }
+
+// Reset implements Predictor.
+func (a *Adaptive) Reset() {
+	for i, m := range a.models {
+		m.Reset()
+		a.errs[i] = 0
+		a.pending[i] = geom.Point{}
+	}
+	a.hasPred = false
+}
+
+// Observe implements Predictor: score each model's pending prediction
+// against the actual location, then feed the observation to every model.
+func (a *Adaptive) Observe(p geom.Point) {
+	if a.hasPred {
+		for i := range a.models {
+			a.errs[i] = a.errs[i]*a.decay + a.pending[i].Dist(p)
+		}
+	}
+	for _, m := range a.models {
+		m.Observe(p)
+	}
+	a.hasPred = false
+}
+
+// Predict implements Predictor: every model predicts (so all stay
+// scoreable), and the one with the lowest decayed error wins. Ties go to
+// the earliest model in the list, making LM the warmup default.
+func (a *Adaptive) Predict() geom.Point {
+	best := 0
+	for i, m := range a.models {
+		a.pending[i] = m.Predict()
+		if a.errs[i] < a.errs[best] {
+			best = i
+		}
+	}
+	a.hasPred = true
+	return a.pending[best]
+}
+
+// BestModel returns the name of the model currently trusted most.
+func (a *Adaptive) BestModel() string {
+	best := 0
+	for i := range a.models {
+		if a.errs[i] < a.errs[best] {
+			best = i
+		}
+	}
+	return a.models[best].Name()
+}

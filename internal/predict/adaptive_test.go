@@ -1,0 +1,114 @@
+package predict
+
+import (
+	"testing"
+
+	"trajpattern/internal/geom"
+)
+
+func TestAdaptiveDefaults(t *testing.T) {
+	a := NewAdaptive(0)
+	if a.decay != DefaultAdaptiveDecay {
+		t.Errorf("decay = %v", a.decay)
+	}
+	if len(a.models) != 3 {
+		t.Errorf("default models = %d", len(a.models))
+	}
+	if a.Name() != "Adaptive" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	a2 := NewAdaptive(2) // out of range
+	if a2.decay != DefaultAdaptiveDecay {
+		t.Errorf("out-of-range decay not defaulted: %v", a2.decay)
+	}
+}
+
+func TestAdaptiveTracksLinearMotion(t *testing.T) {
+	a := NewAdaptive(0.8)
+	path := linearPath(30, geom.Pt(0.1, 0.05))
+	ev, err := Evaluate(a, [][]geom.Point{path}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MisPredictions != 0 {
+		t.Errorf("adaptive mis-predicted linear motion %d times", ev.MisPredictions)
+	}
+}
+
+func TestAdaptiveSwitchesToRMFOnCurves(t *testing.T) {
+	// Long circular motion: the adaptive selector must converge on RMF,
+	// the only member that models curvature.
+	a := NewAdaptive(0.8)
+	path := circlePath(80, 1, 0.25)
+	for i, pt := range path {
+		if i >= 2 {
+			a.Predict()
+		}
+		a.Observe(pt)
+	}
+	if got := a.BestModel(); got != "RMF" {
+		t.Errorf("BestModel after circles = %q, want RMF", got)
+	}
+}
+
+func TestAdaptiveNeverMuchWorseThanBestMember(t *testing.T) {
+	// On a mixed path (line then circle), adaptive total error should be
+	// within a modest factor of the best single model.
+	var path []geom.Point
+	path = append(path, linearPath(40, geom.Pt(0.05, 0))...)
+	start := path[len(path)-1]
+	for i, p := range circlePath(40, 0.5, 0.3) {
+		_ = i
+		path = append(path, start.Add(p).Sub(geom.Pt(0.5, 0)))
+	}
+	evalErr := func(p Predictor) float64 {
+		ev, err := Evaluate(p, [][]geom.Point{path}, 1e9) // count errors, not mispreds
+		if err != nil {
+			panic(err)
+		}
+		return ev.MeanError
+	}
+	adaptive := evalErr(NewAdaptive(0.8))
+	best := evalErr(NewLinear())
+	if e := evalErr(NewKalman(1e-4, 1e-4)); e < best {
+		best = e
+	}
+	if e := evalErr(NewRMF(0, 0)); e < best {
+		best = e
+	}
+	if adaptive > 3*best {
+		t.Errorf("adaptive mean error %v vs best member %v", adaptive, best)
+	}
+}
+
+func TestAdaptiveReset(t *testing.T) {
+	a := NewAdaptive(0.8)
+	for _, pt := range linearPath(10, geom.Pt(1, 0)) {
+		a.Predict()
+		a.Observe(pt)
+	}
+	a.Reset()
+	for i := range a.errs {
+		if a.errs[i] != 0 {
+			t.Error("errors not cleared on Reset")
+		}
+	}
+	if a.hasPred {
+		t.Error("pending flag not cleared")
+	}
+}
+
+func TestAdaptiveCustomModels(t *testing.T) {
+	a := NewAdaptive(0.5, NewLinear(), NewRMF(2, 6))
+	if len(a.models) != 2 {
+		t.Fatalf("models = %d", len(a.models))
+	}
+	path := linearPath(15, geom.Pt(0.02, 0.02))
+	ev, err := Evaluate(a, [][]geom.Point{path}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MisPredictions != 0 {
+		t.Errorf("mis-predictions = %d", ev.MisPredictions)
+	}
+}

@@ -1,0 +1,60 @@
+package predict
+
+import (
+	"fmt"
+
+	"trajpattern/internal/geom"
+)
+
+// Evaluation summarizes a predictor's one-step-ahead performance on a set
+// of paths.
+type Evaluation struct {
+	Steps          int     // prediction opportunities evaluated
+	MisPredictions int     // steps with error > U
+	Rate           float64 // MisPredictions / Steps
+	MeanError      float64 // mean Euclidean prediction error
+}
+
+// Evaluate runs the predictor over each path and counts mis-predictions:
+// at every step (after a warmup of two observations so every model has a
+// velocity estimate) the model predicts the next location before seeing
+// it; an error larger than u is a mis-prediction — the event that forces a
+// report in the protocol of §3.1. The predictor is Reset between paths.
+func Evaluate(p Predictor, paths [][]geom.Point, u float64) (Evaluation, error) {
+	if u <= 0 {
+		return Evaluation{}, fmt.Errorf("predict: u must be > 0, got %v", u)
+	}
+	const warmup = 2
+	var ev Evaluation
+	var errSum float64
+	for _, path := range paths {
+		p.Reset()
+		for i, pt := range path {
+			if i >= warmup {
+				pred := p.Predict()
+				e := pred.Dist(pt)
+				errSum += e
+				ev.Steps++
+				if e > u {
+					ev.MisPredictions++
+				}
+			}
+			p.Observe(pt)
+		}
+	}
+	if ev.Steps > 0 {
+		ev.Rate = float64(ev.MisPredictions) / float64(ev.Steps)
+		ev.MeanError = errSum / float64(ev.Steps)
+	}
+	return ev, nil
+}
+
+// Reduction returns the relative reduction in mis-predictions that
+// enhanced achieves over base, the quantity plotted in Figure 3. A
+// positive value means enhanced mis-predicts less.
+func Reduction(base, enhanced Evaluation) float64 {
+	if base.MisPredictions == 0 {
+		return 0
+	}
+	return float64(base.MisPredictions-enhanced.MisPredictions) / float64(base.MisPredictions)
+}

@@ -1,0 +1,99 @@
+package predict
+
+import (
+	"trajpattern/internal/geom"
+	"trajpattern/internal/stat"
+)
+
+// Kalman is the linear Kalman filter LKF of [2]: a constant-velocity
+// state-space model with state (x, y, vx, vy), white-acceleration process
+// noise and isotropic measurement noise, stepped at the snapshot interval.
+type Kalman struct {
+	q, r float64 // process / measurement noise intensities
+
+	x    []float64    // state estimate, len 4
+	p    *stat.Matrix // state covariance, 4×4
+	n    int
+	f, h *stat.Matrix // constant transition / measurement matrices
+	qm   *stat.Matrix // constant process-noise covariance
+}
+
+// NewKalman returns an LKF with process noise intensity q and measurement
+// noise variance r. Both must be positive; typical values for unit-square
+// data are q around 1e-3 and r around the square of the location sigma.
+func NewKalman(q, r float64) *Kalman {
+	k := &Kalman{q: q, r: r}
+	k.f = stat.MatrixFromRows([][]float64{
+		{1, 0, 1, 0},
+		{0, 1, 0, 1},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	})
+	k.h = stat.MatrixFromRows([][]float64{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+	})
+	// Piecewise-constant white acceleration with dt = 1.
+	k.qm = stat.MatrixFromRows([][]float64{
+		{q / 4, 0, q / 2, 0},
+		{0, q / 4, 0, q / 2},
+		{q / 2, 0, q, 0},
+		{0, q / 2, 0, q},
+	})
+	k.Reset()
+	return k
+}
+
+// Name implements Predictor.
+func (k *Kalman) Name() string { return "LKF" }
+
+// Reset implements Predictor.
+func (k *Kalman) Reset() {
+	k.x = make([]float64, 4)
+	k.p = stat.Identity(4).Scale(1e3) // diffuse prior
+	k.n = 0
+}
+
+// Observe implements Predictor: one predict-update cycle with the actual
+// location as measurement.
+func (k *Kalman) Observe(pt geom.Point) {
+	if k.n == 0 {
+		// Initialize position directly; velocity stays zero with large
+		// covariance.
+		k.x[0], k.x[1] = pt.X, pt.Y
+		k.n++
+		return
+	}
+	// Predict.
+	k.x = k.f.MulVec(k.x)
+	k.p = k.f.Mul(k.p).Mul(k.f.T()).Add(k.qm)
+
+	// Update.
+	innov := []float64{pt.X - k.x[0], pt.Y - k.x[1]}
+	sMat := k.h.Mul(k.p).Mul(k.h.T())
+	sMat.Data[0] += k.r
+	sMat.Data[3] += k.r
+	sInv, err := stat.Inverse(sMat)
+	if err != nil {
+		// Numerically degenerate innovation covariance: skip the update,
+		// keeping the predicted state. Cannot happen with r > 0.
+		k.n++
+		return
+	}
+	gain := k.p.Mul(k.h.T()).Mul(sInv) // 4×2
+	for i := 0; i < 4; i++ {
+		k.x[i] += gain.At(i, 0)*innov[0] + gain.At(i, 1)*innov[1]
+	}
+	ident := stat.Identity(4)
+	k.p = ident.Sub(gain.Mul(k.h)).Mul(k.p)
+	k.n++
+}
+
+// Predict implements Predictor: the position component of F·x.
+func (k *Kalman) Predict() geom.Point {
+	if k.n == 0 {
+		return geom.Point{}
+	}
+	nx := k.f.MulVec(k.x)
+	return geom.Pt(nx[0], nx[1])
+}

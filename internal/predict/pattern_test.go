@@ -1,0 +1,216 @@
+package predict
+
+import (
+	"testing"
+
+	"trajpattern/internal/core"
+	"trajpattern/internal/geom"
+	"trajpattern/internal/grid"
+)
+
+// velocityGrid returns a grid over velocity space [-1,1]² with n×n cells.
+func velocityGrid(n int) *grid.Grid {
+	return grid.New(geom.NewRect(geom.Pt(-1, -1), geom.Pt(1, 1)), n, n)
+}
+
+func TestPatternPredictorValidate(t *testing.T) {
+	g := velocityGrid(8)
+	good := PatternPredictor{Base: NewLinear(), Grid: g, Delta: 0.1, Sigma: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []PatternPredictor{
+		{Grid: g, Delta: 0.1, Sigma: 0.05},
+		{Base: NewLinear(), Delta: 0.1, Sigma: 0.05},
+		{Base: NewLinear(), Grid: g, Sigma: 0.05},
+		{Base: NewLinear(), Grid: g, Delta: 0.1},
+		{Base: NewLinear(), Grid: g, Delta: 0.1, Sigma: 0.05, ConfirmProb: 1.5},
+	}
+	for i, pp := range bad {
+		if err := pp.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPatternPredictorUsesPattern(t *testing.T) {
+	// The object repeatedly moves right, right, then up. LM always
+	// extrapolates the last velocity, so it mis-predicts every turn. A
+	// velocity pattern (right, right, up) predicts the turn.
+	g := velocityGrid(10) // cell size 0.2, centers at ±0.1, ±0.3, ...
+	right := g.IndexOf(geom.Pt(0.3, 0.1))
+	up := g.IndexOf(geom.Pt(0.1, 0.3))
+	if right == up {
+		t.Fatal("test setup broken: velocities share a cell")
+	}
+	pat := core.Pattern{right, right, up}
+
+	var path []geom.Point
+	pos := geom.Pt(0, 0)
+	rightV := g.CenterAt(right)
+	upV := g.CenterAt(up)
+	for r := 0; r < 6; r++ {
+		for _, v := range []geom.Point{rightV, rightV, upV} {
+			pos = pos.Add(v)
+			path = append(path, pos)
+		}
+	}
+
+	u := 0.1
+	base, err := Evaluate(NewLinear(), [][]geom.Point{path}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := &PatternPredictor{
+		Base:     NewLinear(),
+		Patterns: []core.Pattern{pat},
+		Grid:     g,
+		Delta:    0.1,
+		Sigma:    0.02,
+	}
+	if err := pp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	enh, err := Evaluate(pp, [][]geom.Point{path}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MisPredictions == 0 {
+		t.Fatal("test setup broken: LM never mis-predicts")
+	}
+	if enh.MisPredictions >= base.MisPredictions {
+		t.Errorf("pattern predictor did not help: base %d, enhanced %d",
+			base.MisPredictions, enh.MisPredictions)
+	}
+	if red := Reduction(base, enh); red <= 0 {
+		t.Errorf("Reduction = %v", red)
+	}
+}
+
+func TestPatternPredictorFallsBackWithoutConfirmation(t *testing.T) {
+	// Motion that never matches the pattern: predictions must equal the
+	// base model's exactly.
+	g := velocityGrid(8)
+	pat := core.Pattern{g.IndexOf(geom.Pt(0.9, 0.9)), g.IndexOf(geom.Pt(0.9, 0.9))}
+	path := linearPath(15, geom.Pt(0.01, 0.02))
+
+	pp := &PatternPredictor{
+		Base:     NewLinear(),
+		Patterns: []core.Pattern{pat},
+		Grid:     g,
+		Delta:    0.05,
+		Sigma:    0.01,
+	}
+	lm := NewLinear()
+	for i, pt := range path {
+		if i >= 2 {
+			if a, b := pp.Predict(), lm.Predict(); a.Dist(b) > 1e-12 {
+				t.Fatalf("step %d: fallback diverged: %v vs %v", i, a, b)
+			}
+		}
+		pp.Observe(pt)
+		lm.Observe(pt)
+	}
+}
+
+func TestPatternPredictorReset(t *testing.T) {
+	g := velocityGrid(8)
+	pp := &PatternPredictor{
+		Base:  NewLinear(),
+		Grid:  g,
+		Delta: 0.1,
+		Sigma: 0.05,
+	}
+	pp.Observe(geom.Pt(1, 1))
+	pp.Observe(geom.Pt(2, 2))
+	pp.Reset()
+	if len(pp.hist) != 0 {
+		t.Error("history not cleared")
+	}
+	if got := pp.Predict(); got != (geom.Point{}) {
+		t.Errorf("post-reset prediction = %v", got)
+	}
+}
+
+func TestPatternPredictorLocationMode(t *testing.T) {
+	// Object walks a fixed L-shaped route repeatedly. Location patterns
+	// anchor to the corner cell, so the turn is predicted exactly where
+	// velocity extrapolation (LM) fails.
+	g := grid.New(geom.UnitSquare(), 10, 10)
+	cellPath := []int{
+		g.IndexOf(geom.Pt(0.15, 0.15)),
+		g.IndexOf(geom.Pt(0.25, 0.15)),
+		g.IndexOf(geom.Pt(0.35, 0.15)),
+		g.IndexOf(geom.Pt(0.45, 0.15)), // corner
+		g.IndexOf(geom.Pt(0.45, 0.25)),
+		g.IndexOf(geom.Pt(0.45, 0.35)),
+	}
+	pattern := core.Pattern(cellPath)
+	var path []geom.Point
+	for r := 0; r < 4; r++ {
+		for _, c := range cellPath {
+			path = append(path, g.CenterAt(c))
+		}
+	}
+	u := 0.05
+	base, err := Evaluate(NewLinear(), [][]geom.Point{path}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MisPredictions == 0 {
+		t.Fatal("setup broken: LM never mis-predicts the loop")
+	}
+	pp := &PatternPredictor{
+		Base:     NewLinear(),
+		Patterns: []core.Pattern{pattern},
+		Mode:     LocationPatterns,
+		Grid:     g,
+		Delta:    g.CellWidth() * 0.6,
+		Sigma:    0.01,
+	}
+	enh, err := Evaluate(pp, [][]geom.Point{path}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enh.MisPredictions >= base.MisPredictions {
+		t.Errorf("location patterns did not help: base %d, enhanced %d",
+			base.MisPredictions, enh.MisPredictions)
+	}
+}
+
+func TestPatternPredictorGeometricMeanConfirm(t *testing.T) {
+	// A long match whose per-position probability is ~0.95 must confirm
+	// at threshold 0.9 even though the joint probability is below 0.9 —
+	// the length-normalized semantics.
+	g := velocityGrid(10)
+	v := g.CenterAt(g.IndexOf(geom.Pt(0.3, 0.1)))
+	pat := make(core.Pattern, 6)
+	for i := range pat {
+		pat[i] = g.IndexOf(v)
+	}
+	// Velocity noise tuned so per-position prob ≈ 0.95: box δ=0.1,
+	// σ=0.045 → P(|N|<0.1)² ≈ 0.95.
+	pp := &PatternPredictor{
+		Base:        NewLinear(),
+		Patterns:    []core.Pattern{pat},
+		Grid:        g,
+		Delta:       0.1,
+		Sigma:       0.045,
+		ConfirmProb: 0.9,
+	}
+	pos := geom.Pt(0, 0)
+	for i := 0; i < 6; i++ {
+		pos = pos.Add(v)
+		pp.Observe(pos)
+	}
+	if _, ok := pp.patternMove(); !ok {
+		t.Error("length-normalized confirmation failed on a long good match")
+	}
+}
+
+func TestPatternPredictorName(t *testing.T) {
+	pp := &PatternPredictor{Base: NewRMF(0, 0)}
+	if pp.Name() != "RMF+patterns" {
+		t.Errorf("Name = %q", pp.Name())
+	}
+}

@@ -1,0 +1,217 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"trajpattern/internal/geom"
+	"trajpattern/internal/stat"
+)
+
+func linearPath(n int, v geom.Point) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = v.Scale(float64(i))
+	}
+	return out
+}
+
+func circlePath(n int, r, step float64) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		th := float64(i) * step
+		out[i] = geom.Pt(r*math.Cos(th), r*math.Sin(th))
+	}
+	return out
+}
+
+func TestLinearExactOnLinearMotion(t *testing.T) {
+	p := NewLinear()
+	path := linearPath(10, geom.Pt(0.1, -0.2))
+	for i, pt := range path {
+		if i >= 2 {
+			if pred := p.Predict(); pred.Dist(pt) > 1e-12 {
+				t.Fatalf("step %d: LM error %v on linear motion", i, pred.Dist(pt))
+			}
+		}
+		p.Observe(pt)
+	}
+}
+
+func TestLinearWarmup(t *testing.T) {
+	p := NewLinear()
+	p.Observe(geom.Pt(1, 1))
+	if got := p.Predict(); got != geom.Pt(1, 1) {
+		t.Errorf("single-observation prediction = %v, want held position", got)
+	}
+	p.Reset()
+	if got := p.Predict(); got != (geom.Point{}) {
+		t.Errorf("post-reset prediction = %v", got)
+	}
+}
+
+func TestKalmanConvergesOnLinearMotion(t *testing.T) {
+	k := NewKalman(1e-4, 1e-4)
+	path := linearPath(50, geom.Pt(0.05, 0.02))
+	var lastErr float64
+	for i, pt := range path {
+		if i >= 10 {
+			lastErr = k.Predict().Dist(pt)
+		}
+		k.Observe(pt)
+	}
+	if lastErr > 1e-3 {
+		t.Errorf("LKF error after convergence = %v", lastErr)
+	}
+}
+
+func TestKalmanHandlesNoise(t *testing.T) {
+	// Noisy linear motion: the filter should track with error comparable
+	// to the noise level, beating raw LM on average.
+	rng := stat.NewRNG(1)
+	truth := linearPath(200, geom.Pt(0.03, 0.01))
+	noisy := make([]geom.Point, len(truth))
+	for i, pt := range truth {
+		noisy[i] = pt.Add(geom.Pt(rng.Normal(0, 0.01), rng.Normal(0, 0.01)))
+	}
+	k := NewKalman(1e-5, 1e-4)
+	lm := NewLinear()
+	var kErr, lmErr float64
+	for i, pt := range noisy {
+		if i >= 10 {
+			kErr += k.Predict().Dist(pt)
+			lmErr += lm.Predict().Dist(pt)
+		}
+		k.Observe(pt)
+		lm.Observe(pt)
+	}
+	if kErr >= lmErr {
+		t.Errorf("LKF total error %v should beat LM %v on noisy linear motion", kErr, lmErr)
+	}
+}
+
+func TestRMFOnCircularMotion(t *testing.T) {
+	// A second-order linear recurrence reproduces sinusoids exactly, so
+	// RMF must beat LM on circular motion once fitted.
+	path := circlePath(60, 1, 0.2)
+	rmf := NewRMF(3, 10)
+	lm := NewLinear()
+	var rmfErr, lmErr float64
+	for i, pt := range path {
+		if i >= 15 {
+			rmfErr += rmf.Predict().Dist(pt)
+			lmErr += lm.Predict().Dist(pt)
+		}
+		rmf.Observe(pt)
+		lm.Observe(pt)
+	}
+	if rmfErr >= lmErr {
+		t.Errorf("RMF error %v should beat LM %v on circular motion", rmfErr, lmErr)
+	}
+	if rmfErr > 1e-6 {
+		t.Errorf("RMF should be near-exact on a sinusoid, got %v", rmfErr)
+	}
+}
+
+func TestRMFFallbacks(t *testing.T) {
+	r := NewRMF(0, 0) // defaults
+	if r.order != DefaultRMFOrder || r.window != DefaultRMFWindow {
+		t.Errorf("defaults not applied: %+v", r)
+	}
+	if got := r.Predict(); got != (geom.Point{}) {
+		t.Errorf("empty-history prediction = %v", got)
+	}
+	r.Observe(geom.Pt(1, 2))
+	if got := r.Predict(); got != geom.Pt(1, 2) {
+		t.Errorf("single-observation prediction = %v", got)
+	}
+	r.Observe(geom.Pt(2, 3))
+	if got := r.Predict(); got != geom.Pt(3, 4) {
+		t.Errorf("two-observation (linear fallback) prediction = %v", got)
+	}
+	// Window raised to order+1.
+	r2 := NewRMF(5, 2)
+	if r2.window < 6 {
+		t.Errorf("window not raised: %d", r2.window)
+	}
+}
+
+func TestRMFDegenerateHistory(t *testing.T) {
+	// Constant position makes the design matrix rank deficient; the ridge
+	// term or the fallback must keep the prediction finite.
+	r := NewRMF(3, 8)
+	for i := 0; i < 15; i++ {
+		r.Observe(geom.Pt(1, 1))
+	}
+	got := r.Predict()
+	if !got.IsFinite() {
+		t.Fatalf("non-finite prediction %v", got)
+	}
+	if got.Dist(geom.Pt(1, 1)) > 1e-6 {
+		t.Errorf("stationary prediction = %v, want (1,1)", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	paths := [][]geom.Point{linearPath(20, geom.Pt(0.1, 0))}
+	ev, err := Evaluate(NewLinear(), paths, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Steps != 18 {
+		t.Errorf("Steps = %d, want 18", ev.Steps)
+	}
+	if ev.MisPredictions != 0 {
+		t.Errorf("LM mis-predicted perfect linear motion %d times", ev.MisPredictions)
+	}
+	if ev.MeanError > 1e-12 {
+		t.Errorf("MeanError = %v", ev.MeanError)
+	}
+	if _, err := Evaluate(NewLinear(), paths, 0); err == nil {
+		t.Error("u=0 accepted")
+	}
+}
+
+func TestEvaluateCountsMisPredictions(t *testing.T) {
+	// A path with an abrupt turn: LM mis-predicts at the turn.
+	path := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0),
+		geom.Pt(3, 1), geom.Pt(3, 2), // 90° turn
+	}
+	ev, err := Evaluate(NewLinear(), [][]geom.Point{path}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MisPredictions == 0 {
+		t.Error("turn not detected as mis-prediction")
+	}
+	if ev.Rate != float64(ev.MisPredictions)/float64(ev.Steps) {
+		t.Error("Rate inconsistent")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	base := Evaluation{MisPredictions: 10}
+	enh := Evaluation{MisPredictions: 7}
+	if got := Reduction(base, enh); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Reduction = %v", got)
+	}
+	if got := Reduction(Evaluation{}, enh); got != 0 {
+		t.Errorf("zero-base Reduction = %v", got)
+	}
+}
+
+func TestPredictorsResetBetweenPaths(t *testing.T) {
+	// Two very different paths: evaluation must reset state, so the
+	// second path's early predictions must not leak the first path's
+	// velocity.
+	p1 := linearPath(10, geom.Pt(1, 0))
+	p2 := linearPath(10, geom.Pt(0, 1))
+	ev, err := Evaluate(NewLinear(), [][]geom.Point{p1, p2}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MisPredictions != 0 {
+		t.Errorf("reset leak: %d mis-predictions", ev.MisPredictions)
+	}
+}

@@ -1,0 +1,61 @@
+// Package predict implements the three location prediction modules the
+// paper's Figure 3 experiment compares — the linear model (LM) of Wolfson
+// et al. [12], a linear Kalman filter (LKF) per Jain et al. [2], and a
+// recursive motion function (RMF) per Tao et al. [11] — together with the
+// mis-prediction evaluation harness and the pattern-enhanced predictor
+// that overlays mined trajectory patterns on any base model.
+//
+// A mis-prediction occurs when the one-step-ahead predicted location is
+// more than the tolerable uncertainty distance U away from the actual
+// location, forcing the mobile object to transmit a report (§6.1).
+package predict
+
+import "trajpattern/internal/geom"
+
+// Predictor is a one-step-ahead location predictor. Implementations are
+// fed the actual location after every step via Observe and asked for the
+// next location via Predict. They must be deterministic.
+type Predictor interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Observe records the actual location of the current step.
+	Observe(p geom.Point)
+	// Predict returns the predicted location for the next step. Called
+	// after at least one Observe.
+	Predict() geom.Point
+	// Reset clears all state for a new trajectory.
+	Reset()
+}
+
+// Linear is the linear model LM of [12]: predict_loc = last_loc + v where
+// v is the displacement between the last two observations (Equation 1 with
+// t = one snapshot interval).
+type Linear struct {
+	last, prev geom.Point
+	n          int
+}
+
+// NewLinear returns an LM predictor.
+func NewLinear() *Linear { return &Linear{} }
+
+// Name implements Predictor.
+func (l *Linear) Name() string { return "LM" }
+
+// Observe implements Predictor.
+func (l *Linear) Observe(p geom.Point) {
+	l.prev = l.last
+	l.last = p
+	l.n++
+}
+
+// Predict implements Predictor. With fewer than two observations the last
+// position is held.
+func (l *Linear) Predict() geom.Point {
+	if l.n < 2 {
+		return l.last
+	}
+	return l.last.Add(l.last.Sub(l.prev))
+}
+
+// Reset implements Predictor.
+func (l *Linear) Reset() { *l = Linear{} }

@@ -1,0 +1,109 @@
+package predict
+
+import (
+	"trajpattern/internal/geom"
+	"trajpattern/internal/stat"
+)
+
+// RMF is the recursive motion function of Tao et al. [11]: the location at
+// time t is modeled as a linear recurrence over the f previous locations,
+// x_t = Σᵢ cᵢ·x_{t−i}, with the coefficients re-fitted by least squares
+// over a sliding window of recent observations. Unlike LM it can capture
+// curved and oscillating motion without assuming a motion type.
+type RMF struct {
+	order  int // recurrence depth f
+	window int // observations used for the fit
+	hist   []geom.Point
+}
+
+// Defaults for NewRMF; order 3 matches the retrospect factor the RMF paper
+// recommends for unknown motion.
+const (
+	DefaultRMFOrder  = 3
+	DefaultRMFWindow = 10
+)
+
+// NewRMF returns an RMF predictor with recurrence order f and fitting
+// window w observations. Non-positive arguments select the defaults; w is
+// raised to at least f+1 so the fit is never underdetermined.
+func NewRMF(f, w int) *RMF {
+	if f <= 0 {
+		f = DefaultRMFOrder
+	}
+	if w <= 0 {
+		w = DefaultRMFWindow
+	}
+	if w < f+1 {
+		w = f + 1
+	}
+	return &RMF{order: f, window: w}
+}
+
+// Name implements Predictor.
+func (r *RMF) Name() string { return "RMF" }
+
+// Reset implements Predictor.
+func (r *RMF) Reset() { r.hist = r.hist[:0] }
+
+// Observe implements Predictor.
+func (r *RMF) Observe(p geom.Point) {
+	r.hist = append(r.hist, p)
+	if keep := r.window + r.order; len(r.hist) > keep {
+		r.hist = r.hist[len(r.hist)-keep:]
+	}
+}
+
+// Predict implements Predictor. With insufficient history it degrades to
+// the linear model; if the fit is singular it also falls back.
+func (r *RMF) Predict() geom.Point {
+	n := len(r.hist)
+	if n == 0 {
+		return geom.Point{}
+	}
+	if n < r.order+2 {
+		return linearFallback(r.hist)
+	}
+	// Fit x_t = Σ cᵢ x_{t−i} over the available window, stacking the x
+	// and y equations so one coefficient vector describes the motion.
+	f := r.order
+	rows := 0
+	for t := f; t < n; t++ {
+		rows += 2
+	}
+	a := stat.NewMatrix(rows, f)
+	b := make([]float64, rows)
+	ri := 0
+	for t := f; t < n; t++ {
+		for i := 1; i <= f; i++ {
+			a.Set(ri, i-1, r.hist[t-i].X)
+			a.Set(ri+1, i-1, r.hist[t-i].Y)
+		}
+		b[ri] = r.hist[t].X
+		b[ri+1] = r.hist[t].Y
+		ri += 2
+	}
+	c, err := stat.LeastSquares(a, b, 1e-9)
+	if err != nil {
+		return linearFallback(r.hist)
+	}
+	var out geom.Point
+	for i := 1; i <= f; i++ {
+		out = out.Add(r.hist[n-i].Scale(c[i-1]))
+	}
+	if !out.IsFinite() {
+		return linearFallback(r.hist)
+	}
+	return out
+}
+
+// linearFallback predicts with the LM rule from a raw history.
+func linearFallback(hist []geom.Point) geom.Point {
+	n := len(hist)
+	if n == 0 {
+		return geom.Point{}
+	}
+	if n == 1 {
+		return hist[0]
+	}
+	return hist[n-1].Add(hist[n-1].Sub(hist[n-2]))
+}

@@ -1,0 +1,213 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("At wrong")
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Set wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 0)
+	if m.At(0, 0) != 9 {
+		t.Error("Clone not deep")
+	}
+	tr := m.T()
+	if tr.At(1, 0) != 2 || tr.At(0, 1) != 3 {
+		t.Error("T wrong")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+	id := Identity(2)
+	if am := a.Mul(id); am.At(0, 0) != 1 || am.At(1, 1) != 4 {
+		t.Error("Mul by identity changed matrix")
+	}
+}
+
+func TestMatrixAddSubScaleMulVec(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := Identity(2)
+	if s := a.Add(b); s.At(0, 0) != 2 || s.At(1, 1) != 5 {
+		t.Error("Add wrong")
+	}
+	if d := a.Sub(b); d.At(0, 0) != 0 || d.At(0, 1) != 2 {
+		t.Error("Sub wrong")
+	}
+	if sc := a.Scale(2); sc.At(1, 1) != 8 {
+		t.Error("Scale wrong")
+	}
+	v := a.MulVec([]float64{1, 1})
+	if v[0] != 3 || v[1] != 7 {
+		t.Errorf("MulVec = %v", v)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := MatrixFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	// Inputs unchanged.
+	if a.At(0, 0) != 2 || b[0] != 8 {
+		t.Error("SolveLinear mutated inputs")
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+	if _, err := SolveLinear(MatrixFromRows([][]float64{{1, 2}}), []float64{1}); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	if _, err := SolveLinear(Identity(2), []float64{1}); err == nil {
+		t.Error("expected error for rhs length mismatch")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := MatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 5 || x[1] != 3 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := MatrixFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-12 {
+				t.Errorf("A·A⁻¹[%d][%d] = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+	if _, err := Inverse(MatrixFromRows([][]float64{{1, 1}, {1, 1}})); !errors.Is(err, ErrSingular) {
+		t.Error("expected ErrSingular for singular inverse")
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// y = 2x + 1 fitted exactly through three collinear points.
+	a := MatrixFromRows([][]float64{{0, 1}, {1, 1}, {2, 1}})
+	b := []float64{1, 3, 5}
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-1) > 1e-10 {
+		t.Errorf("fit = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Noisy line; residual of LS solution must be <= residual of the true
+	// generating parameters.
+	rng := NewRNG(7)
+	n := 50
+	a := NewMatrix(n, 2)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / 10
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 3*x - 2 + rng.Normal(0, 0.1)
+	}
+	sol, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := func(p []float64) float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			r := b[i] - (a.At(i, 0)*p[0] + a.At(i, 1)*p[1])
+			s += r * r
+		}
+		return s
+	}
+	if resid(sol) > resid([]float64{3, -2})+1e-9 {
+		t.Errorf("LS residual %v worse than true params %v", resid(sol), resid([]float64{3, -2}))
+	}
+}
+
+// Property: SolveLinear returns x with A·x ≈ b for random well-conditioned
+// systems (diagonally dominant by construction).
+func TestQuickSolveLinear(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.Intn(5)
+		a := NewMatrix(n, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				v := rng.Uniform(-1, 1)
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Set(i, i, a.At(i, i)+rowSum+1) // diagonal dominance
+			b[i] = rng.Uniform(-10, 10)
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		ax := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

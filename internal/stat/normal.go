@@ -1,0 +1,104 @@
+// Package stat provides the numerical machinery behind the TrajPattern
+// measures: univariate normal distribution functions, the probability mass
+// of a 2-D isotropic normal over boxes and disks (the Prob(l,σ,p,δ) of the
+// paper), scaled Bessel functions, small dense linear algebra for the
+// prediction models, deterministic random sources, and descriptive
+// statistics for the experiment harness.
+package stat
+
+import "math"
+
+// Sqrt2 is cached to avoid recomputing in hot probability loops.
+var sqrt2 = math.Sqrt(2)
+
+// NormalPDF returns the density of N(mu, sigma²) at x. For sigma <= 0 it
+// returns +Inf at x == mu and 0 elsewhere (the degenerate point mass).
+func NormalPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x == mu {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	z := (x - mu) / sigma
+	return math.Exp(-z*z/2) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// NormalCDF returns P(X <= x) for X ~ N(mu, sigma²). For sigma <= 0 it
+// returns the step function of the degenerate point mass at mu.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x >= mu {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*sqrt2))
+}
+
+// NormalIntervalProb returns P(a <= X <= b) for X ~ N(mu, sigma²).
+// It is exact (up to erfc accuracy) and returns 0 when b < a.
+func NormalIntervalProb(a, b, mu, sigma float64) float64 {
+	if b < a {
+		return 0
+	}
+	if sigma <= 0 {
+		if mu >= a && mu <= b {
+			return 1
+		}
+		return 0
+	}
+	// Difference of erfc values keeps precision in the tails where two
+	// near-1 CDFs would cancel.
+	lo := (a - mu) / (sigma * sqrt2)
+	hi := (b - mu) / (sigma * sqrt2)
+	p := 0.5 * (math.Erfc(lo) - math.Erfc(hi))
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// NormalQuantile returns the x with NormalCDF(x, mu, sigma) = p, computed by
+// bisection on the CDF. p outside (0,1) returns ∓Inf. Accuracy is ~1e-12
+// relative to sigma, plenty for test oracles and data generation.
+func NormalQuantile(p, mu, sigma float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	if sigma <= 0 {
+		return mu
+	}
+	lo, hi := -40.0, 40.0 // standard-normal z bounds
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if 0.5*math.Erfc(-mid/sqrt2) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return mu + sigma*(lo+hi)/2
+}
+
+// BoxProb2D is the paper's Prob(l, σ, p, δ) under the "box" interpretation:
+// the probability that a point drawn from the isotropic 2-D normal
+// N(l, σ²I) falls inside the axis-aligned square [p.x±δ]×[p.y±δ]. Because
+// the coordinates are independent the mass factorizes into two 1-D interval
+// probabilities.
+//
+// lx, ly is the distribution mean (the expected location), px, py the
+// pattern position and delta the indifference threshold.
+func BoxProb2D(lx, ly, sigma, px, py, delta float64) float64 {
+	if delta < 0 {
+		return 0
+	}
+	return NormalIntervalProb(px-delta, px+delta, lx, sigma) *
+		NormalIntervalProb(py-delta, py+delta, ly, sigma)
+}

@@ -1,0 +1,158 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalPDF(t *testing.T) {
+	// Standard normal at 0: 1/sqrt(2π).
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := NormalPDF(0, 0, 1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("NormalPDF(0,0,1) = %v, want %v", got, want)
+	}
+	// Symmetry.
+	if NormalPDF(1.3, 0, 1) != NormalPDF(-1.3, 0, 1) {
+		t.Error("PDF not symmetric")
+	}
+	// Degenerate sigma.
+	if got := NormalPDF(1, 1, 0); !math.IsInf(got, 1) {
+		t.Errorf("degenerate PDF at mean = %v", got)
+	}
+	if got := NormalPDF(2, 1, 0); got != 0 {
+		t.Errorf("degenerate PDF off mean = %v", got)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{2, 0.9772498680518208},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x, 0, 1); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	// Shift/scale.
+	if got := NormalCDF(5, 5, 3); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("CDF at mean = %v", got)
+	}
+	// Degenerate.
+	if NormalCDF(0.9, 1, 0) != 0 || NormalCDF(1, 1, 0) != 1 {
+		t.Error("degenerate CDF wrong")
+	}
+}
+
+func TestNormalIntervalProb(t *testing.T) {
+	// The "68-95-99.7" rule, which the paper invokes for c = 1, 2, 3.
+	for _, c := range []struct {
+		k, want, tol float64
+	}{
+		{1, 0.6827, 1e-3},
+		{2, 0.9545, 1e-3},
+		{3, 0.9973, 1e-3},
+	} {
+		got := NormalIntervalProb(-c.k, c.k, 0, 1)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("P(|Z|<%v) = %v, want ≈%v", c.k, got, c.want)
+		}
+	}
+	if got := NormalIntervalProb(2, 1, 0, 1); got != 0 {
+		t.Errorf("inverted interval = %v", got)
+	}
+	if NormalIntervalProb(0.5, 1.5, 1, 0) != 1 || NormalIntervalProb(2, 3, 1, 0) != 0 {
+		t.Error("degenerate interval prob wrong")
+	}
+	// Deep tail: difference-of-erfc path must not cancel to 0 too early.
+	if got := NormalIntervalProb(8, 9, 0, 1); got <= 0 {
+		t.Errorf("tail interval prob = %v, want > 0", got)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999} {
+		x := NormalQuantile(p, 2, 3)
+		if got := NormalCDF(x, 2, 3); math.Abs(got-p) > 1e-10 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0, 0, 1), -1) || !math.IsInf(NormalQuantile(1, 0, 1), 1) {
+		t.Error("quantile at 0/1 should be ∓Inf")
+	}
+	if NormalQuantile(0.3, 7, 0) != 7 {
+		t.Error("degenerate quantile should be mu")
+	}
+}
+
+func TestBoxProb2D(t *testing.T) {
+	// Centered box of half-width δ=σ: product of P(|Z|<1)².
+	want := 0.6827 * 0.6827
+	if got := BoxProb2D(0, 0, 1, 0, 0, 1); math.Abs(got-want) > 2e-3 {
+		t.Errorf("BoxProb2D centered = %v, want ≈%v", got, want)
+	}
+	// Far away: negligible.
+	if got := BoxProb2D(0, 0, 0.01, 1, 1, 0.01); got > 1e-12 {
+		t.Errorf("far box prob = %v", got)
+	}
+	// Negative delta.
+	if BoxProb2D(0, 0, 1, 0, 0, -1) != 0 {
+		t.Error("negative delta should be 0")
+	}
+	// Huge delta: everything.
+	if got := BoxProb2D(0, 0, 1, 0, 0, 100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("huge delta = %v", got)
+	}
+}
+
+// Property: interval probability is in [0,1], monotone in interval width,
+// and additive over adjacent intervals.
+func TestQuickIntervalProb(t *testing.T) {
+	f := func(a, w1, w2, mu float64) bool {
+		if math.IsNaN(a) || math.IsNaN(w1) || math.IsNaN(w2) || math.IsNaN(mu) {
+			return true
+		}
+		a = math.Mod(a, 100)
+		mu = math.Mod(mu, 100)
+		w1, w2 = math.Abs(math.Mod(w1, 50)), math.Abs(math.Mod(w2, 50))
+		sigma := 1.0
+		p1 := NormalIntervalProb(a, a+w1, mu, sigma)
+		p2 := NormalIntervalProb(a+w1, a+w1+w2, mu, sigma)
+		p12 := NormalIntervalProb(a, a+w1+w2, mu, sigma)
+		if p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1 {
+			return false
+		}
+		if p12+1e-12 < p1 { // monotone in width
+			return false
+		}
+		return math.Abs(p12-(p1+p2)) < 1e-9 // additive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF is monotone non-decreasing.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(x, y, mu, sigma float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(mu) || math.IsNaN(sigma) {
+			return true
+		}
+		x, y = math.Mod(x, 1e6), math.Mod(y, 1e6)
+		mu = math.Mod(mu, 1e6)
+		sigma = math.Abs(math.Mod(sigma, 1e3)) + 1e-6
+		if x > y {
+			x, y = y, x
+		}
+		return NormalCDF(x, mu, sigma) <= NormalCDF(y, mu, sigma)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package traj
+
+import (
+	"bytes"
+	"testing"
+
+	"trajpattern/internal/geom"
+	"trajpattern/internal/stat"
+)
+
+func benchDataset(n, ln int) Dataset {
+	rng := stat.NewRNG(11)
+	d := make(Dataset, n)
+	for i := range d {
+		tr := make(Trajectory, ln)
+		for j := range tr {
+			tr[j] = P(rng.Float64(), rng.Float64(), 0.02)
+		}
+		d[i] = tr
+	}
+	return d
+}
+
+func BenchmarkToVelocity(b *testing.B) {
+	d := benchDataset(50, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ToVelocity()
+	}
+}
+
+func BenchmarkSynchronize(b *testing.B) {
+	rng := stat.NewRNG(12)
+	reports := make([]Report, 50)
+	for i := range reports {
+		reports[i] = Report{Time: float64(i * 2), Loc: geom.Pt(rng.Float64(), rng.Float64())}
+	}
+	cfg := SyncConfig{Start: 0, Interval: 1, Count: 100, U: 0.05, C: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synchronize(reports, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	d := benchDataset(20, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

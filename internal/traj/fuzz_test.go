@@ -1,0 +1,97 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trajpattern/internal/geom"
+)
+
+// FuzzRead checks that the dataset decoder never panics on arbitrary
+// input and that everything it accepts re-encodes and re-reads stably.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, Dataset{
+		{P(0, 0, 0.1), P(1, 1, 0.2)},
+		{P(-1, 2, 0.05)},
+	})
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("[]")
+	f.Add(`[{"mean":{"X":0,"Y":0},"sigma":0}]`)
+	f.Add(`[{"mean":{"X":1e400,"Y":0},"sigma":1}]`)
+	f.Add("{")
+	f.Add("null")
+	f.Fuzz(func(t *testing.T, in string) {
+		ds, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("Read accepted invalid dataset: %v", err)
+		}
+		var out bytes.Buffer
+		if err := Write(&out, ds); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		ds2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(ds2) != len(ds) {
+			t.Fatalf("round trip changed trajectory count: %d vs %d", len(ds2), len(ds))
+		}
+		for i := range ds {
+			if len(ds2[i]) != len(ds[i]) {
+				t.Fatalf("round trip changed trajectory %d length", i)
+			}
+			for j := range ds[i] {
+				if ds2[i][j] != ds[i][j] {
+					t.Fatalf("round trip changed point [%d][%d]", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzSynchronize checks that synchronization never panics and always
+// produces a structurally valid trajectory of the requested length for
+// valid configurations.
+func FuzzSynchronize(f *testing.F) {
+	f.Add(3, 1.0, 0.5, float64(0), float64(0), float64(1), float64(1))
+	f.Add(1, 0.1, 2.0, float64(5), float64(5), float64(5), float64(5))
+	f.Fuzz(func(t *testing.T, count int, u, c, t0, x0, t1, x1 float64) {
+		if count < 1 || count > 1000 {
+			return
+		}
+		if u <= 0 || u > 1e6 || c <= 0 || c > 1e6 {
+			return
+		}
+		if !finite(t0) || !finite(x0) || !finite(t1) || !finite(x1) {
+			return
+		}
+		reports := []Report{
+			{Time: t0, Loc: geom.Pt(x0, x0)},
+			{Time: t1, Loc: geom.Pt(x1, x1)},
+		}
+		tr, err := Synchronize(reports, SyncConfig{
+			Start: 0, Interval: 1, Count: count, U: u, C: c,
+		})
+		if err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+		if len(tr) != count {
+			t.Fatalf("length %d != %d", len(tr), count)
+		}
+		for i, p := range tr {
+			if p.Sigma != u/c {
+				t.Fatalf("snapshot %d sigma %v != U/C", i, p.Sigma)
+			}
+		}
+	})
+}
+
+func finite(v float64) bool {
+	return v == v && v < 1e300 && v > -1e300
+}

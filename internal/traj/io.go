@@ -1,0 +1,116 @@
+package traj
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The on-disk format is JSON lines: one trajectory per line, encoded as an
+// array of {"mean":{"X":…,"Y":…},"sigma":…} objects. The format is
+// line-oriented so huge datasets can be streamed trajectory by trajectory,
+// matching the paper's observation that the whole input never needs to be
+// resident (Section 4.4).
+
+// Write encodes the dataset to w, one trajectory per line.
+func Write(w io.Writer, d Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, t := range d {
+		if err := enc.Encode(t); err != nil {
+			return fmt.Errorf("traj: encoding trajectory %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a dataset from r. Blank lines are skipped. Each trajectory
+// is validated structurally (finite coordinates, non-negative sigmas).
+func Read(r io.Reader) (Dataset, error) {
+	var d Dataset
+	dec := json.NewDecoder(r)
+	for i := 0; ; i++ {
+		var t Trajectory
+		if err := dec.Decode(&t); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("traj: decoding trajectory %d: %w", i, err)
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d: %w", i, err)
+		}
+		d = append(d, t)
+	}
+	return d, nil
+}
+
+// WriteFile writes the dataset to the named file, creating or truncating it.
+func WriteFile(path string, d Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traj: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("traj: closing %s: %w", path, cerr)
+		}
+	}()
+	return Write(f, d)
+}
+
+// ReadFile reads a dataset from the named file.
+func ReadFile(path string) (Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traj: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Reader streams trajectories from a JSON-lines file one at a time,
+// validating each, so arbitrarily large datasets can be scanned in
+// constant memory (the access pattern §4.4 of the paper relies on).
+type Reader struct {
+	f   *os.File
+	dec *json.Decoder
+	n   int
+}
+
+// OpenReader opens the named dataset file for streaming.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traj: %w", err)
+	}
+	return &Reader{f: f, dec: json.NewDecoder(bufio.NewReader(f))}, nil
+}
+
+// Next returns the next trajectory, or (nil, nil) at end of file.
+func (r *Reader) Next() (Trajectory, error) {
+	var t Trajectory
+	if err := r.dec.Decode(&t); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("traj: decoding trajectory %d: %w", r.n, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("traj: trajectory %d: %w", r.n, err)
+	}
+	r.n++
+	return t, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}

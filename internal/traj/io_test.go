@@ -1,0 +1,163 @@
+package traj
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDataset() Dataset {
+	return Dataset{
+		{P(0, 0, 0.1), P(1, 0.5, 0.2)},
+		{P(-1, 2, 0.05), P(-1.5, 2.5, 0.05), P(-2, 3, 0.05)},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(d) {
+		t.Fatalf("trajectory count = %d, want %d", len(got), len(d))
+	}
+	for i := range d {
+		if len(got[i]) != len(d[i]) {
+			t.Fatalf("trajectory %d length mismatch", i)
+		}
+		for j := range d[i] {
+			if got[i][j] != d[i][j] {
+				t.Errorf("point [%d][%d] = %+v, want %+v", i, j, got[i][j], d[i][j])
+			}
+		}
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	// Valid JSON but structurally invalid trajectory (negative sigma).
+	in := `[{"mean":{"X":0,"Y":0},"sigma":-1}]`
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	d, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 0 {
+		t.Errorf("empty input gave %d trajectories", len(d))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.jsonl")
+	d := sampleDataset()
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][2].Mean.X != -2 {
+		t.Errorf("file round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReaderStreaming(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.jsonl")
+	d := sampleDataset()
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got int
+	for {
+		tr, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr == nil {
+			break
+		}
+		if len(tr) != len(d[got]) {
+			t.Errorf("trajectory %d length %d, want %d", got, len(tr), len(d[got]))
+		}
+		got++
+	}
+	if got != len(d) {
+		t.Errorf("streamed %d trajectories, want %d", got, len(d))
+	}
+	// Next after EOF keeps returning (nil, nil).
+	if tr, err := r.Next(); err != nil || tr != nil {
+		t.Errorf("post-EOF Next = %v, %v", tr, err)
+	}
+	// Double close is fine.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := writeRaw(path, `[{"mean":{"X":0,"Y":0},"sigma":-1}]`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); err == nil {
+		t.Error("invalid trajectory accepted by streaming reader")
+	}
+	if _, err := OpenReader(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func writeRaw(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestWritePreservesPrecision(t *testing.T) {
+	d := Dataset{{P(math.Pi, math.E, 1.0/3.0)}}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := got[0][0]
+	if p.Mean.X != math.Pi || p.Mean.Y != math.E || p.Sigma != 1.0/3.0 {
+		t.Errorf("precision lost: %+v", p)
+	}
+}

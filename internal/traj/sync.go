@@ -1,0 +1,102 @@
+package traj
+
+import (
+	"fmt"
+	"sort"
+
+	"trajpattern/internal/geom"
+)
+
+// Report is one asynchronous location fix received by the server: the
+// object was at Loc at time Time. Times are in arbitrary units (the
+// experiments use minutes).
+type Report struct {
+	Time float64    `json:"time"`
+	Loc  geom.Point `json:"loc"`
+}
+
+// SyncConfig describes how the server superimposes synchronous snapshots on
+// asynchronous reports (Section 3.2) and the uncertainty model of the
+// reporting scheme (Section 3.1): the true location at a snapshot is
+// N(predicted, σ²I₂) with σ = U/C, where U is the tolerable uncertainty
+// distance (an object reports whenever it strays more than U from its
+// predicted position) and C the confidence constant (C=2 bounds the miss
+// probability at 5%).
+type SyncConfig struct {
+	Start    float64 // time of the first snapshot
+	Interval float64 // time between snapshots; must be > 0
+	Count    int     // number of snapshots to generate; must be > 0
+	U        float64 // tolerable uncertainty distance; must be > 0
+	C        float64 // confidence constant (typically 1, 2 or 3); must be > 0
+}
+
+// Sigma returns the per-snapshot standard deviation σ = U/C.
+func (c SyncConfig) Sigma() float64 { return c.U / c.C }
+
+func (c SyncConfig) validate() error {
+	switch {
+	case c.Interval <= 0:
+		return fmt.Errorf("traj: SyncConfig.Interval must be > 0, got %v", c.Interval)
+	case c.Count <= 0:
+		return fmt.Errorf("traj: SyncConfig.Count must be > 0, got %d", c.Count)
+	case c.U <= 0:
+		return fmt.Errorf("traj: SyncConfig.U must be > 0, got %v", c.U)
+	case c.C <= 0:
+		return fmt.Errorf("traj: SyncConfig.C must be > 0, got %v", c.C)
+	}
+	return nil
+}
+
+// Synchronize interpolates a sequence of asynchronous reports onto the
+// snapshot schedule of cfg, producing a location trajectory. At each
+// snapshot the expected location is dead-reckoned from the last report at
+// or before the snapshot using the linear model of Equation 1
+// (predict_loc = last_loc + v·t, with v estimated from the last two
+// reports); snapshots before the first report use the first report's
+// location. The per-snapshot σ is cfg.Sigma().
+//
+// Reports are sorted by time internally; the input slice is not modified.
+// An error is returned for invalid configuration or an empty report list.
+func Synchronize(reports []Report, cfg SyncConfig) (Trajectory, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("traj: Synchronize needs at least one report")
+	}
+	rs := append([]Report(nil), reports...)
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Time < rs[j].Time })
+
+	sigma := cfg.Sigma()
+	out := make(Trajectory, cfg.Count)
+	for i := range out {
+		t := cfg.Start + float64(i)*cfg.Interval
+		out[i] = Point{Mean: PredictAt(rs, t), Sigma: sigma}
+	}
+	return out, nil
+}
+
+// PredictAt dead-reckons the expected location at time t from the report
+// list rs, which must be sorted by time, using the linear model of
+// Equation 1: predict_loc = last_loc + v·(t − last_time) with v estimated
+// from the last two reports at or before t. Before the first report the
+// first report's location is returned; with a single usable report the
+// position is held constant. It panics if rs is empty.
+func PredictAt(rs []Report, t float64) geom.Point {
+	// Index of the last report with Time <= t.
+	k := sort.Search(len(rs), func(i int) bool { return rs[i].Time > t }) - 1
+	if k < 0 {
+		return rs[0].Loc // before the first report
+	}
+	last := rs[k]
+	if k == 0 {
+		return last.Loc // no earlier report to estimate velocity from
+	}
+	prev := rs[k-1]
+	dt := last.Time - prev.Time
+	if dt <= 0 {
+		return last.Loc
+	}
+	v := last.Loc.Sub(prev.Loc).Scale(1 / dt)
+	return last.Loc.Add(v.Scale(t - last.Time))
+}

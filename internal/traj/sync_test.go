@@ -1,0 +1,153 @@
+package traj
+
+import (
+	"math"
+	"testing"
+
+	"trajpattern/internal/geom"
+)
+
+func validCfg() SyncConfig {
+	return SyncConfig{Start: 0, Interval: 1, Count: 5, U: 0.2, C: 2}
+}
+
+func TestSyncConfigValidation(t *testing.T) {
+	cases := []SyncConfig{
+		{Interval: 0, Count: 5, U: 1, C: 1},
+		{Interval: 1, Count: 0, U: 1, C: 1},
+		{Interval: 1, Count: 5, U: 0, C: 1},
+		{Interval: 1, Count: 5, U: 1, C: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := Synchronize([]Report{{Time: 0}}, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Synchronize(nil, validCfg()); err == nil {
+		t.Error("empty report list accepted")
+	}
+}
+
+func TestSigma(t *testing.T) {
+	cfg := validCfg()
+	if got := cfg.Sigma(); got != 0.1 {
+		t.Errorf("Sigma = %v, want U/C = 0.1", got)
+	}
+}
+
+func TestSynchronizeLinearMotion(t *testing.T) {
+	// Object moves at constant velocity (1, 2) per time unit, reporting at
+	// t=0 and t=1; dead reckoning must extrapolate exactly.
+	reports := []Report{
+		{Time: 0, Loc: geom.Pt(0, 0)},
+		{Time: 1, Loc: geom.Pt(1, 2)},
+	}
+	tr, err := Synchronize(reports, validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 5 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	for i, want := range []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 2), geom.Pt(2, 4), geom.Pt(3, 6), geom.Pt(4, 8),
+	} {
+		if tr[i].Mean.Dist(want) > 1e-12 {
+			t.Errorf("snapshot %d = %v, want %v", i, tr[i].Mean, want)
+		}
+		if tr[i].Sigma != 0.1 {
+			t.Errorf("snapshot %d sigma = %v", i, tr[i].Sigma)
+		}
+	}
+}
+
+func TestSynchronizeBeforeFirstReport(t *testing.T) {
+	reports := []Report{{Time: 10, Loc: geom.Pt(3, 4)}}
+	cfg := validCfg() // snapshots at t=0..4, all before the report
+	tr, err := Synchronize(reports, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range tr {
+		if p.Mean != geom.Pt(3, 4) {
+			t.Errorf("snapshot %d = %v, want first report location", i, p.Mean)
+		}
+	}
+}
+
+func TestSynchronizeSingleReport(t *testing.T) {
+	// One report: no velocity estimate, position held constant.
+	reports := []Report{{Time: 0, Loc: geom.Pt(1, 1)}}
+	tr, err := Synchronize(reports, validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr {
+		if p.Mean != geom.Pt(1, 1) {
+			t.Errorf("held position = %v", p.Mean)
+		}
+	}
+}
+
+func TestSynchronizeVelocityChange(t *testing.T) {
+	// Velocity changes after the second report; snapshots after t=2 must
+	// use the newest velocity estimate.
+	reports := []Report{
+		{Time: 0, Loc: geom.Pt(0, 0)},
+		{Time: 1, Loc: geom.Pt(1, 0)}, // v = (1, 0)
+		{Time: 2, Loc: geom.Pt(1, 1)}, // v = (0, 1)
+	}
+	tr, err := Synchronize(reports, validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=3: last report (1,1) at t=2, v=(0,1) -> (1, 2).
+	if tr[3].Mean.Dist(geom.Pt(1, 2)) > 1e-12 {
+		t.Errorf("t=3 = %v, want (1,2)", tr[3].Mean)
+	}
+	if tr[4].Mean.Dist(geom.Pt(1, 3)) > 1e-12 {
+		t.Errorf("t=4 = %v, want (1,3)", tr[4].Mean)
+	}
+}
+
+func TestSynchronizeUnsortedReports(t *testing.T) {
+	sorted := []Report{
+		{Time: 0, Loc: geom.Pt(0, 0)},
+		{Time: 1, Loc: geom.Pt(1, 2)},
+	}
+	shuffled := []Report{sorted[1], sorted[0]}
+	a, err := Synchronize(sorted, validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synchronize(shuffled, validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order sensitivity at snapshot %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Input order untouched.
+	if shuffled[0].Time != 1 {
+		t.Error("Synchronize mutated its input")
+	}
+}
+
+func TestSynchronizeDuplicateTimes(t *testing.T) {
+	// Two reports at the same instant must not divide by zero.
+	reports := []Report{
+		{Time: 0, Loc: geom.Pt(0, 0)},
+		{Time: 0, Loc: geom.Pt(1, 1)},
+	}
+	tr, err := Synchronize(reports, validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr {
+		if !p.Mean.IsFinite() || math.IsNaN(p.Sigma) {
+			t.Fatalf("non-finite output from duplicate times: %+v", p)
+		}
+	}
+}

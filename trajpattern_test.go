@@ -1,0 +1,150 @@
+package trajpattern_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"trajpattern"
+)
+
+// TestFacadeEndToEnd exercises the whole public API surface: generate a
+// dataset, round-trip it through a file, mine patterns, group them, and
+// run a pattern-enhanced prediction — the downstream-user journey.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds, err := trajpattern.GenerateZebraDataset(trajpattern.ZebraConfig{
+		NumZebras: 15, NumGroups: 3, AvgLen: 40, Seed: 9,
+	}, 0.02, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// File round trip.
+	path := filepath.Join(t.TempDir(), "zebra.jsonl")
+	if err := trajpattern.WriteDatasetFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trajpattern.ReadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumTrajectories() != ds.NumTrajectories() {
+		t.Fatalf("round trip lost trajectories: %d vs %d",
+			loaded.NumTrajectories(), ds.NumTrajectories())
+	}
+
+	// Mine.
+	g := trajpattern.NewSquareGrid(10)
+	scorer, err := trajpattern.NewScorer(loaded, trajpattern.ScorerConfig{
+		Grid:  g,
+		Delta: g.CellWidth(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trajpattern.Mine(scorer, trajpattern.MinerConfig{K: 5, MaxLen: 4, MaxLowQ: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 5 {
+		t.Fatalf("got %d patterns", len(res.Patterns))
+	}
+
+	// Group.
+	patterns := make([]trajpattern.Pattern, len(res.Patterns))
+	for i, sp := range res.Patterns {
+		patterns[i] = sp.Pattern
+	}
+	groups, err := trajpattern.DiscoverGroups(patterns, g,
+		trajpattern.DefaultGamma(loaded.MeanSigma()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, grp := range groups {
+		total += grp.Len()
+	}
+	if total != len(patterns) {
+		t.Fatalf("groups cover %d of %d patterns", total, len(patterns))
+	}
+}
+
+func TestFacadeBaselinesAgree(t *testing.T) {
+	ds, err := trajpattern.GenerateTPRDataset(trajpattern.TPRConfig{
+		NumObjects: 10, Length: 30, Seed: 5,
+	}, 0.04, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := trajpattern.NewSquareGrid(5)
+	mk := func() *trajpattern.Scorer {
+		s, err := trajpattern.NewScorer(ds, trajpattern.ScorerConfig{Grid: g, Delta: g.CellWidth()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	tp, err := trajpattern.Mine(mk(), trajpattern.MinerConfig{K: 5, MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := trajpattern.MinePB(mk(), trajpattern.PBConfig{K: 5, MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Patterns) != len(pb.Patterns) {
+		t.Fatalf("result sizes differ: %d vs %d", len(tp.Patterns), len(pb.Patterns))
+	}
+	for i := range tp.Patterns {
+		if math.Abs(tp.Patterns[i].NM-pb.Patterns[i].NM) > 1e-9 {
+			t.Errorf("rank %d: TrajPattern NM %v vs PB NM %v",
+				i, tp.Patterns[i].NM, pb.Patterns[i].NM)
+		}
+	}
+}
+
+func TestFacadeReportingPipeline(t *testing.T) {
+	// Straight-line object: the reporting protocol should reconstruct it
+	// with bounded error.
+	n := 30
+	path := make([]trajpattern.Point, n)
+	times := make([]float64, n)
+	for i := range path {
+		path[i] = trajpattern.Pt(float64(i)*0.02, 0.5)
+		times[i] = float64(i)
+	}
+	cfg := trajpattern.ReportConfig{U: 0.05, C: 2}
+	ds, results, err := trajpattern.BuildReportedDataset(
+		times, [][]trajpattern.Point{path}, cfg, 0, 1, n, trajpattern.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || len(results) != 1 {
+		t.Fatalf("shape: %d/%d", len(ds), len(results))
+	}
+	for i, p := range ds[0] {
+		if p.Mean.Dist(path[i]) > cfg.U+1e-9 {
+			t.Errorf("snapshot %d error %v > U", i, p.Mean.Dist(path[i]))
+		}
+	}
+}
+
+func TestFacadePredictors(t *testing.T) {
+	path := make([]trajpattern.Point, 20)
+	for i := range path {
+		path[i] = trajpattern.Pt(float64(i)*0.1, 0)
+	}
+	for _, p := range []trajpattern.Predictor{
+		trajpattern.NewLinearPredictor(),
+		trajpattern.NewKalmanPredictor(1e-4, 1e-4),
+		trajpattern.NewRMFPredictor(0, 0),
+	} {
+		ev, err := trajpattern.EvaluatePredictor(p, [][]trajpattern.Point{path}, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Rate > 0.5 {
+			t.Errorf("%s mis-predicts linear motion at rate %v", p.Name(), ev.Rate)
+		}
+	}
+}
