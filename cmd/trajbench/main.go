@@ -1,15 +1,28 @@
 // Command trajbench regenerates the tables and figures of the TrajPattern
-// evaluation (Section 6) plus the ablations, printing markdown tables.
+// evaluation (Section 6) plus the ablations, printing markdown tables. It
+// can also emit a machine-readable bench.json (wall time, allocations and
+// the deterministic miner/scorer work counters) and gate against a
+// committed baseline, which is how CI detects benchmark regressions.
 //
 // Usage:
 //
-//	trajbench                 # run every experiment at the default scale
-//	trajbench -exp e3,e6      # run selected experiments
-//	trajbench -scale 0.3      # shrink the workloads
+//	trajbench                             # run every experiment at the default scale
+//	trajbench -exp e3,e6                  # run selected experiments
+//	trajbench -scale 0.3                  # shrink the workloads
+//	trajbench -exp e3 -metrics            # print the obs snapshot per experiment
+//	trajbench -exp e3,e7 -scale 0.3 -json bench.json
+//	trajbench -exp e3,e7 -scale 0.3 -check results/bench_baseline.json -tol 15
+//	trajbench -exp e3 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: e1 (§6.1 pattern lengths), e2 (Figure 3), e3–e6
 // (Figure 4a–d), e7 (Figure 4e), e8 (§6.1 on posture data), e9 (pattern
 // classifier), a1–a6 (ablations).
+//
+// The -check gate compares the deterministic work counters (NM
+// evaluations, candidates, prunes — identical across machines for a fixed
+// scale and seed) within ±tol percent; add -checktime to also gate on wall
+// time against a baseline produced on the same machine. The command exits
+// non-zero when any experiment fails or the check finds a regression.
 package main
 
 import (
@@ -17,110 +30,49 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
-	"trajpattern/internal/exp"
+	"trajpattern/internal/cli"
 )
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "comma-separated experiment ids (e1..e7, a1..a3) or 'all'")
-		scale = flag.Float64("scale", 1, "workload scale in (0,1]")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		which      = flag.String("exp", "all", "comma-separated experiment ids (e1..e9, a1..a6) or 'all'")
+		scale      = flag.Float64("scale", 1, "workload scale in (0,1]")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		metrics    = flag.Bool("metrics", false, "print each experiment's obs metrics snapshot")
+		jsonPath   = flag.String("json", "", "write machine-readable results (bench.json) to this file")
+		checkPath  = flag.String("check", "", "baseline bench.json to compare against; exit non-zero on regression")
+		tol        = flag.Float64("tol", cli.DefaultBenchTolerance, "allowed drift percentage for -check")
+		checkTime  = flag.Bool("checktime", false, "also gate -check on wall time (same-machine baselines only)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
-	selected := map[string]bool{}
-	if *which == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "a4", "a5", "a6"} {
-			selected[id] = true
-		}
-	} else {
-		for _, id := range strings.Split(*which, ",") {
-			selected[strings.TrimSpace(strings.ToLower(id))] = true
-		}
-	}
-
-	bus := exp.BusOptions{Scale: *scale, Seed: *seed}
-	sweep := exp.SweepOptions{Scale: *scale, Seed: *seed}
-
-	runners := []struct {
-		id  string
-		run func() (fmt.Stringer, error)
-	}{
-		{"e1", func() (fmt.Stringer, error) {
-			r, err := exp.RunE1(exp.E1Options{Bus: bus})
-			if err != nil {
-				return nil, err
-			}
-			return r.Table, nil
-		}},
-		{"e2", func() (fmt.Stringer, error) {
-			r, err := exp.RunE2(exp.E2Options{Bus: bus})
-			if err != nil {
-				return nil, err
-			}
-			return r.Table, nil
-		}},
-		{"e3", func() (fmt.Stringer, error) { return deref(exp.RunE3(sweep)) }},
-		{"e4", func() (fmt.Stringer, error) { return deref(exp.RunE4(sweep)) }},
-		{"e5", func() (fmt.Stringer, error) { return deref(exp.RunE5(sweep)) }},
-		{"e6", func() (fmt.Stringer, error) { return deref(exp.RunE6(sweep)) }},
-		{"e7", func() (fmt.Stringer, error) {
-			return deref(exp.RunE7(exp.E7Options{Sweep: sweep}))
-		}},
-		{"e8", func() (fmt.Stringer, error) {
-			r, err := exp.RunE8(exp.E8Options{Seed: *seed})
-			if err != nil {
-				return nil, err
-			}
-			return r.Table, nil
-		}},
-		{"e9", func() (fmt.Stringer, error) {
-			r, err := exp.RunE9(exp.E9Options{Bus: bus})
-			if err != nil {
-				return nil, err
-			}
-			return r.Table, nil
-		}},
-		{"a1", func() (fmt.Stringer, error) { return derefTable(exp.RunA1(sweep)) }},
-		{"a2", func() (fmt.Stringer, error) { return derefTable(exp.RunA2(sweep)) }},
-		{"a3", func() (fmt.Stringer, error) { return derefTable(exp.RunA3(sweep)) }},
-		{"a4", func() (fmt.Stringer, error) { return derefTable(exp.RunA4(sweep)) }},
-		{"a5", func() (fmt.Stringer, error) { return derefTable(exp.RunA5(sweep)) }},
-		{"a6", func() (fmt.Stringer, error) { return derefTable(exp.RunA6(sweep)) }},
-	}
-
-	failed := false
-	for _, r := range runners {
-		if !selected[r.id] {
-			continue
-		}
-		start := time.Now()
-		out, err := r.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "trajbench: %s: %v\n", r.id, err)
-			failed = true
-			continue
-		}
-		fmt.Println(out.String())
-		fmt.Printf("(%s completed in %.1fs)\n\n", r.id, time.Since(start).Seconds())
-	}
-	if failed {
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trajbench: %v\n", err)
 		os.Exit(1)
 	}
-}
 
-func deref(s *exp.Series, err error) (fmt.Stringer, error) {
-	if err != nil {
-		return nil, err
+	_, err = cli.RunBench(os.Stdout, cli.BenchOptions{
+		Experiments: strings.Split(*which, ","),
+		Scale:       *scale,
+		Seed:        *seed,
+		ShowMetrics: *metrics,
+		JSONPath:    *jsonPath,
+		CheckPath:   *checkPath,
+		TolPct:      *tol,
+		CheckTime:   *checkTime,
+	})
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintf(os.Stderr, "trajbench: %v\n", perr)
+		if err == nil {
+			err = perr
+		}
 	}
-	return *s, nil
-}
-
-func derefTable(t *exp.Table, err error) (fmt.Stringer, error) {
 	if err != nil {
-		return nil, err
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
 	}
-	return *t, nil
 }

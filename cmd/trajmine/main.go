@@ -7,6 +7,7 @@
 //	trajmine -in zebra.jsonl -k 20 -gridn 12
 //	trajmine -in bus.jsonl -k 50 -minlen 4 -measure match
 //	trajmine -in zebra.jsonl -viz
+//	trajmine -in zebra.jsonl -metrics -cpuprofile cpu.pprof
 package main
 
 import (
@@ -30,6 +31,9 @@ func main() {
 		groups  = flag.Bool("groups", true, "cluster the result into pattern groups")
 		viz     = flag.Bool("viz", false, "render ASCII heatmap of the data and the best pattern")
 		save    = flag.String("savepats", "", "persist scored patterns to this JSON file")
+		metrics = flag.Bool("metrics", false, "collect and print miner/scorer metrics")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -38,6 +42,11 @@ func main() {
 		os.Exit(2)
 	}
 	ds, err := traj.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trajmine: %v\n", err)
+		os.Exit(1)
+	}
+	stopProfiles, err := cli.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trajmine: %v\n", err)
 		os.Exit(1)
@@ -52,7 +61,14 @@ func main() {
 		Groups:   *groups,
 		Viz:      *viz,
 		SavePath: *save,
+		Metrics:  *metrics,
 	})
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintf(os.Stderr, "trajmine: %v\n", perr)
+		if err == nil {
+			err = perr
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trajmine: %v\n", err)
 		os.Exit(1)

@@ -14,6 +14,7 @@ import (
 	"trajpattern/internal/exp"
 	"trajpattern/internal/geom"
 	"trajpattern/internal/grid"
+	"trajpattern/internal/obs"
 	"trajpattern/internal/traj"
 	"trajpattern/internal/viz"
 )
@@ -66,6 +67,7 @@ type MineOptions struct {
 	Groups   bool    // cluster the result into pattern groups
 	Viz      bool    // render ASCII maps
 	SavePath string  // when set, persist the scored patterns as JSON
+	Metrics  bool    // collect and print an obs metrics snapshot
 }
 
 // FitGrid builds a square grid covering the dataset bounds with a 3σ̄
@@ -94,7 +96,11 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 		return nil, fmt.Errorf("cli: empty dataset")
 	}
 	g := FitGrid(ds, o.GridN)
-	s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: o.DeltaMul * g.CellWidth()})
+	var reg *obs.Registry // nil unless -metrics: the nil registry is free
+	if o.Metrics {
+		reg = obs.New()
+	}
+	s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: o.DeltaMul * g.CellWidth(), Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +112,7 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 	switch o.Measure {
 	case "nm":
 		res, err := core.Mine(s, core.MinerConfig{
-			K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K,
+			K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K, Metrics: reg,
 		})
 		if err != nil {
 			return nil, err
@@ -150,6 +156,10 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 			return nil, err
 		}
 		fmt.Fprintf(w, "saved %d patterns to %s\n", len(scored), o.SavePath)
+	}
+
+	if reg != nil {
+		fmt.Fprintf(w, "\nmetrics:\n%s", reg.Snapshot())
 	}
 
 	if o.Viz && len(patterns) > 0 {

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling (when cpuPath is non-empty) and
+// returns a stop function that finishes the CPU profile and, when memPath
+// is non-empty, writes a GC-settled heap profile. Either path may be empty;
+// with both empty the returned stop is a no-op. Used by the trajmine and
+// trajbench -cpuprofile/-memprofile flags.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cli: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cli: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cli: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("cli: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("cli: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

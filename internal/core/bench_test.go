@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"trajpattern/internal/grid"
+	"trajpattern/internal/obs"
 	"trajpattern/internal/stat"
 	"trajpattern/internal/traj"
 )
@@ -126,6 +127,25 @@ func BenchmarkMineSmall(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := Mine(s, MinerConfig{K: 8, MaxLen: 5, MaxLowQ: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineSmallMetrics is BenchmarkMineSmall with an obs registry
+// attached — compare the two to see the cost of enabling instrumentation
+// (the nil-registry path of BenchmarkMineSmall is the zero-cost default).
+func BenchmarkMineSmallMetrics(b *testing.B) {
+	g := grid.NewSquare(10)
+	ds := benchDataset(30, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := obs.New()
+		s, err := NewScorer(ds, Config{Grid: g, Delta: g.CellWidth(), Metrics: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Mine(s, MinerConfig{K: 8, MaxLen: 5, MaxLowQ: 32, Metrics: reg}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"trajpattern/internal/obs"
 )
 
 // MinerConfig parameterizes the TrajPattern algorithm (Section 4).
@@ -59,6 +61,11 @@ type MinerConfig struct {
 	// the floor dominates. Use Scorer.AllCells for the paper's literal
 	// seeding on small grids.
 	Seeds []int
+	// Metrics, when non-nil, receives per-run miner instrumentation
+	// (candidate, prune and set-size accounting under "miner.*" names —
+	// see DESIGN.md for the name-to-paper-quantity map). Nil disables
+	// collection at the cost of one nil check per event.
+	Metrics *obs.Registry
 }
 
 // Defaults for MinerConfig.
@@ -129,6 +136,55 @@ type labeling struct {
 	high    []*entry
 	highKey map[string]struct{}
 	ansKey  map[string]struct{}
+	capped  int // entries dropped from the high set by the MaxHigh cap
+}
+
+// minerMetrics holds the resolved obs handles of one Mine call. All fields
+// are nil when MinerConfig.Metrics is nil; obs handles treat nil receivers
+// as no-ops, so call sites need no guards.
+type minerMetrics struct {
+	iterations *obs.Counter // grow iterations executed
+	seeds      *obs.Counter // singular seed patterns evaluated
+	fresh      *obs.Counter // never-seen candidates evaluated (NM computed)
+	readmitted *obs.Counter // previously pruned patterns re-inserted from the memo
+	prunedExt  *obs.Counter // low patterns removed by the 1-extension test
+	prunedCap  *obs.Counter // low patterns removed by the MaxLowQ cap
+	retained   *obs.Counter // patterns left in Q at the end of a run; across
+	// any number of runs, retained = seeds + fresh + readmitted − pruned
+	highCapped  *obs.Counter // high-set entries dropped by the MaxHigh cap
+	termStable  *obs.Counter // terminations: high+answer sets stable, answer full
+	termDry     *obs.Counter // terminations: stable and no fresh candidates left
+	termMaxIter *obs.Counter // terminations: MaxIters safety net hit
+	qFinal      *obs.Gauge   // |Q| when the loop ended
+	qPeak       *obs.Gauge   // peak |Q| across iterations
+	highSize    *obs.Gauge   // |H| at the last labeling
+	lowSize     *obs.Gauge   // |Q| − |H| at the last labeling
+	ansSize     *obs.Gauge   // answer-set size at the last labeling
+	total       *obs.Timer   // whole Mine call
+	iteration   *obs.Timer   // one grow iteration
+}
+
+func newMinerMetrics(r *obs.Registry) minerMetrics {
+	return minerMetrics{
+		iterations:  r.Counter("miner.iterations"),
+		seeds:       r.Counter("miner.seeds"),
+		fresh:       r.Counter("miner.candidates.fresh"),
+		readmitted:  r.Counter("miner.candidates.readmitted"),
+		prunedExt:   r.Counter("miner.pruned.extension"),
+		prunedCap:   r.Counter("miner.pruned.lowcap"),
+		retained:    r.Counter("miner.q.retained"),
+		highCapped:  r.Counter("miner.high.capped"),
+		termStable:  r.Counter("miner.term.stable"),
+		termDry:     r.Counter("miner.term.exhausted"),
+		termMaxIter: r.Counter("miner.term.maxiters"),
+		qFinal:      r.Gauge("miner.q.final"),
+		qPeak:       r.Gauge("miner.q.peak"),
+		highSize:    r.Gauge("miner.high.size"),
+		lowSize:     r.Gauge("miner.low.size"),
+		ansSize:     r.Gauge("miner.answer.size"),
+		total:       r.Timer("miner.time.total"),
+		iteration:   r.Timer("miner.time.iteration"),
+	}
 }
 
 // Mine runs the TrajPattern algorithm: seed Q with singular patterns,
@@ -152,6 +208,8 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 	}
 
 	var stats MinerStats
+	m := newMinerMetrics(cfg.Metrics)
+	defer m.total.Start()()
 
 	// Q and the evaluation memo. The memo survives pruning so a pattern
 	// regenerated in a later iteration is never rescored.
@@ -175,13 +233,21 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 		insert(seedPats[i], nm)
 	}
 	stats.Candidates += len(seedPats)
+	m.seeds.Add(int64(len(seedPats)))
 
+	terminated := false
 	var prevHigh, prevAns map[string]struct{}
 	lastFresh := -1 // fresh candidates evaluated in the previous iteration
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		stats.Iterations = iter + 1
+		m.iterations.Inc()
+		stopIter := m.iteration.Start()
 
 		lab := label(q, cfg.K, cfg.MinLen, cfg.MaxHigh)
+		m.highCapped.Add(int64(lab.capped))
+		m.highSize.Set(int64(len(lab.high)))
+		m.lowSize.Set(int64(len(q) - len(lab.high)))
+		m.ansSize.Set(int64(len(lab.ansKey)))
 
 		// Termination: the high set and the answer set did not change
 		// during the last iteration, and the search is saturated — the
@@ -194,6 +260,13 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 			sameKeySet(prevHigh, lab.highKey) &&
 			sameKeySet(prevAns, lab.ansKey)
 		if stable && (len(lab.ansKey) >= cfg.K || lastFresh == 0) {
+			if len(lab.ansKey) >= cfg.K {
+				m.termStable.Inc()
+			} else {
+				m.termDry.Inc()
+			}
+			terminated = true
+			stopIter()
 			break
 		}
 		prevHigh, prevAns = lab.highKey, lab.ansKey
@@ -222,6 +295,7 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 			seen[k] = struct{}{}
 			if nm, ok := evaluated[k]; ok {
 				insert(p, nm) // re-admit a previously pruned pattern
+				m.readmitted.Inc()
 				return
 			}
 			fresh = append(fresh, p)
@@ -241,17 +315,22 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 				insert(p, nms[i])
 			}
 			stats.Candidates += len(fresh)
+			m.fresh.Add(int64(len(fresh)))
 		}
 
 		if len(q) > stats.MaxQ {
 			stats.MaxQ = len(q)
 		}
+		m.qPeak.SetMax(int64(len(q)))
 
 		// Re-label with the new candidates, then prune: keep high and
 		// answer patterns, and low patterns satisfying the 1-extension
 		// property with respect to the new high set (Definition 5 /
 		// Lemma 1), up to the MaxLowQ cap.
 		newLab := label(q, cfg.K, cfg.MinLen, cfg.MaxHigh)
+		m.highCapped.Add(int64(newLab.capped))
+		m.highSize.Set(int64(len(newLab.high)))
+		m.ansSize.Set(int64(len(newLab.ansKey)))
 		protected := func(k string) bool {
 			if _, ok := newLab.highKey[k]; ok {
 				return true
@@ -269,6 +348,7 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 				}
 				delete(q, k)
 				stats.Pruned++
+				m.prunedExt.Inc()
 			}
 		}
 		if cfg.MaxLowQ > 0 {
@@ -283,10 +363,18 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 				for _, e := range lows[cfg.MaxLowQ:] {
 					delete(q, e.key)
 					stats.LowCapped++
+					m.prunedCap.Inc()
 				}
 			}
 		}
+		m.lowSize.Set(int64(len(q) - len(newLab.high)))
+		stopIter()
 	}
+	if !terminated {
+		m.termMaxIter.Inc()
+	}
+	m.qFinal.Set(int64(len(q)))
+	m.retained.Add(int64(len(q)))
 
 	stats.NMEvaluations = s.NMEvaluations()
 	return &Result{Patterns: topK(q, cfg.K, cfg.MinLen), Stats: stats}, nil
@@ -320,6 +408,7 @@ func label(q map[string]*entry, k, minLen, maxHigh int) labeling {
 		}
 	}
 	if maxHigh > 0 && len(lab.high) > maxHigh {
+		lab.capped = len(lab.high) - maxHigh
 		for _, e := range lab.high[maxHigh:] {
 			delete(lab.highKey, e.key)
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"trajpattern/internal/grid"
+	"trajpattern/internal/obs"
 	"trajpattern/internal/stat"
 	"trajpattern/internal/traj"
 )
@@ -62,6 +63,11 @@ type Config struct {
 	// DisableCache turns off the per-cell log-probability cache (used by
 	// the A3 ablation benchmark). Scoring results are identical either way.
 	DisableCache bool
+	// Metrics, when non-nil, receives scorer instrumentation (NM
+	// evaluation, cache, scratch-pool, batch and per-worker accounting
+	// under "scorer.*" names). Nil disables collection at the cost of one
+	// nil check per event.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +113,39 @@ type Scorer struct {
 	mu      sync.Mutex
 	cache   map[int][]float64 // cell index -> per-flat-position log prob
 	nmEvals int               // number of NM evaluations (for MinerStats)
+
+	m scorerMetrics
+}
+
+// scorerMetrics holds the resolved obs handles of one Scorer. All fields
+// are nil when Config.Metrics is nil; obs handles treat nil receivers as
+// no-ops, so call sites need no guards.
+type scorerMetrics struct {
+	nmEvals      *obs.Counter // NM evaluations (the §4.4 dominant cost)
+	cellsBuilt   *obs.Counter // per-cell log-prob vectors materialized
+	cacheHits    *obs.Counter // vector lookups served from the cache
+	scratchHits  *obs.Counter // window scans reusing a pooled accumulator
+	scratchGrows *obs.Counter // window scans that had to grow the accumulator
+	batches      *obs.Counter // ScoreAll calls
+	batchPats    *obs.Counter // patterns scored across all batches
+	batchMax     *obs.Gauge   // largest single batch
+	batchTime    *obs.Timer   // wall time inside ScoreAll
+	registry     *obs.Registry
+}
+
+func newScorerMetrics(r *obs.Registry) scorerMetrics {
+	return scorerMetrics{
+		nmEvals:      r.Counter("scorer.nm.evals"),
+		cellsBuilt:   r.Counter("scorer.cells.built"),
+		cacheHits:    r.Counter("scorer.cache.hits"),
+		scratchHits:  r.Counter("scorer.scratch.hits"),
+		scratchGrows: r.Counter("scorer.scratch.grows"),
+		batches:      r.Counter("scorer.batches"),
+		batchPats:    r.Counter("scorer.batch.patterns"),
+		batchMax:     r.Gauge("scorer.batch.max"),
+		batchTime:    r.Timer("scorer.time.batch"),
+		registry:     r,
+	}
 }
 
 // NewScorer validates the configuration and indexes the dataset. The
@@ -127,6 +166,7 @@ func NewScorer(data traj.Dataset, cfg Config) (*Scorer, error) {
 		data:    data,
 		offsets: make([]int, len(data)+1),
 		cache:   make(map[int][]float64),
+		m:       newScorerMetrics(cfg.Metrics),
 	}
 	for i, t := range data {
 		s.offsets[i+1] = s.offsets[i] + len(t)
@@ -173,10 +213,12 @@ func (s *Scorer) cellLogProbs(cell int) []float64 {
 		s.mu.Lock()
 		if v, ok := s.cache[cell]; ok {
 			s.mu.Unlock()
+			s.m.cacheHits.Inc()
 			return v
 		}
 		s.mu.Unlock()
 	}
+	s.m.cellsBuilt.Inc()
 	v := make([]float64, len(s.flat))
 	for i, pt := range s.flat {
 		v[i] = s.logProb(pt, cell)
@@ -238,6 +280,9 @@ func (s *Scorer) logMatchWindows(p Pattern, ti int, vecs [][]float64) (float64, 
 	defer scratchPool.Put(bufp)
 	if cap(*bufp) < nw {
 		*bufp = make([]float64, nw)
+		s.m.scratchGrows.Inc()
+	} else {
+		s.m.scratchHits.Inc()
 	}
 	acc := (*bufp)[:nw]
 	copy(acc, vecs[0][start:start+nw])
@@ -292,6 +337,7 @@ func (s *Scorer) NM(p Pattern) float64 {
 	s.mu.Lock()
 	s.nmEvals++
 	s.mu.Unlock()
+	s.m.nmEvals.Inc()
 	return sum
 }
 
@@ -332,6 +378,11 @@ func (s *Scorer) Match(p Pattern) float64 {
 // touched cells (serially), then fans the window scans out over
 // cfg.Workers goroutines.
 func (s *Scorer) ScoreAll(patterns []Pattern) []float64 {
+	defer s.m.batchTime.Start()()
+	s.m.batches.Inc()
+	s.m.batchPats.Add(int64(len(patterns)))
+	s.m.batchMax.SetMax(int64(len(patterns)))
+
 	cells := make(map[int]struct{})
 	for _, p := range patterns {
 		for _, c := range p {
@@ -350,11 +401,20 @@ func (s *Scorer) ScoreAll(patterns []Pattern) []float64 {
 	jobs := make(chan int)
 	for w := 0; w < s.cfg.Workers; w++ {
 		wg.Add(1)
+		// Per-worker job counts accumulate locally and post once per
+		// batch, so utilization tracking costs the hot loop nothing.
+		var jobCount *obs.Counter
+		if s.m.registry != nil {
+			jobCount = s.m.registry.Counter(fmt.Sprintf("scorer.worker.%02d.jobs", w))
+		}
 		go func() {
 			defer wg.Done()
+			done := int64(0)
 			for i := range jobs {
 				out[i] = s.NM(patterns[i])
+				done++
 			}
+			jobCount.Add(done)
 		}()
 	}
 	for i := range patterns {

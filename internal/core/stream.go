@@ -108,7 +108,12 @@ func StreamNM(cur Cursor, cfg Config, patterns []Pattern) ([]float64, error) {
 
 	// The per-trajectory evaluation reuses the resident scorer on a
 	// one-trajectory dataset, so the window scan and probability code
-	// paths are shared (and tested) once.
+	// paths are shared (and tested) once. Scorer-level metrics (if any)
+	// flow through cfg into every per-trajectory scorer and accumulate in
+	// the shared registry.
+	trajectories := cfg.Metrics.Counter("stream.trajectories")
+	cfg.Metrics.Gauge("stream.patterns").Set(int64(len(patterns)))
+	defer cfg.Metrics.Timer("stream.time.total").Start()()
 	sums := make([]float64, len(patterns))
 	n := 0
 	for {
@@ -122,6 +127,7 @@ func StreamNM(cur Cursor, cfg Config, patterns []Pattern) ([]float64, error) {
 		if len(t) == 0 {
 			continue
 		}
+		trajectories.Inc()
 		one, err := NewScorer(traj.Dataset{t}, cfg)
 		if err != nil {
 			return nil, err

@@ -63,11 +63,11 @@ func RunE7(o E7Options) (*Series, error) {
 	var xs []float64
 	for _, mult := range o.Deltas {
 		delta := mult * g.CellWidth()
-		s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: delta})
+		s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: delta, Metrics: sw.Metrics})
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(s, core.MinerConfig{K: sw.K, MaxLen: sw.MaxLen, MaxLowQ: 4 * sw.K})
+		res, err := core.Mine(s, core.MinerConfig{K: sw.K, MaxLen: sw.MaxLen, MaxLowQ: 4 * sw.K, Metrics: sw.Metrics})
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 	"trajpattern/internal/core"
 	"trajpattern/internal/datagen"
 	"trajpattern/internal/grid"
+	"trajpattern/internal/obs"
 	"trajpattern/internal/traj"
 )
 
@@ -15,6 +16,12 @@ import (
 type SweepOptions struct {
 	Scale float64 // shrinks the base workload (default 1)
 	Seed  uint64
+
+	// Metrics, when non-nil, accumulates miner/scorer instrumentation
+	// across every TrajPattern run of the sweep (the PB baseline is not
+	// instrumented). The bench harness uses the deterministic counters as
+	// its regression-gate quantities.
+	Metrics *obs.Registry
 
 	// Base workload (each sweep varies one dimension around these).
 	K      int // default 10
@@ -71,21 +78,21 @@ func (o SweepOptions) dataset(s, l int) (traj.Dataset, error) {
 // timeMiners runs TrajPattern and PB on the same dataset/grid and returns
 // the wall-clock seconds of each. Fresh scorers are used per run so cached
 // probabilities do not leak across algorithms.
-func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int) (tpSec, pbSec float64, err error) {
-	mk := func() (*core.Scorer, error) {
-		return core.NewScorer(ds, core.Config{Grid: g, Delta: g.CellWidth()})
+func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int, m *obs.Registry) (tpSec, pbSec float64, err error) {
+	mk := func(reg *obs.Registry) (*core.Scorer, error) {
+		return core.NewScorer(ds, core.Config{Grid: g, Delta: g.CellWidth(), Metrics: reg})
 	}
-	sTP, err := mk()
+	sTP, err := mk(m)
 	if err != nil {
 		return 0, 0, err
 	}
 	start := time.Now()
-	if _, err := core.Mine(sTP, core.MinerConfig{K: k, MaxLen: maxLen, MaxLowQ: 4 * k}); err != nil {
+	if _, err := core.Mine(sTP, core.MinerConfig{K: k, MaxLen: maxLen, MaxLowQ: 4 * k, Metrics: m}); err != nil {
 		return 0, 0, err
 	}
 	tpSec = time.Since(start).Seconds()
 
-	sPB, err := mk()
+	sPB, err := mk(nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -99,7 +106,7 @@ func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int) (tpSec, pbSec floa
 
 // runSweep executes one Figure 4 sweep: xs are the x-axis values, setup
 // returns the dataset/grid/k for each x.
-func runSweep(title, xLabel string, xs []float64,
+func runSweep(title, xLabel string, xs []float64, m *obs.Registry,
 	setup func(x float64) (traj.Dataset, *grid.Grid, int, int, error)) (*Series, error) {
 	tp := Line{Name: "TrajPattern (s)"}
 	pb := Line{Name: "PB (s)"}
@@ -108,7 +115,7 @@ func runSweep(title, xLabel string, xs []float64,
 		if err != nil {
 			return nil, err
 		}
-		tpSec, pbSec, err := timeMiners(ds, g, k, maxLen)
+		tpSec, pbSec, err := timeMiners(ds, g, k, maxLen, m)
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +139,7 @@ func RunE3(o SweepOptions) (*Series, error) {
 	}
 	g := grid.NewSquare(o.GridN)
 	ks := []float64{2, 5, 10, 20, 40}
-	return runSweep("E3 (Figure 4a): response time vs k", "k", ks,
+	return runSweep("E3 (Figure 4a): response time vs k", "k", ks, o.Metrics,
 		func(x float64) (traj.Dataset, *grid.Grid, int, int, error) {
 			return ds, g, int(x), o.MaxLen, nil
 		})
@@ -162,7 +169,7 @@ func RunE4(o SweepOptions) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runSweep("E4 (Figure 4b): response time vs number of trajectories S", "S", ss,
+	return runSweep("E4 (Figure 4b): response time vs number of trajectories S", "S", ss, o.Metrics,
 		func(x float64) (traj.Dataset, *grid.Grid, int, int, error) {
 			return full[:int(x)], g, o.K, o.MaxLen, nil
 		})
@@ -182,7 +189,7 @@ func RunE5(o SweepOptions) (*Series, error) {
 		float64(scaleInt(75, o.Scale, 12)),
 		float64(scaleInt(100, o.Scale, 15)),
 	}
-	return runSweep("E5 (Figure 4c): response time vs average trajectory length L", "L", ls,
+	return runSweep("E5 (Figure 4c): response time vs average trajectory length L", "L", ls, o.Metrics,
 		func(x float64) (traj.Dataset, *grid.Grid, int, int, error) {
 			ds, err := o.dataset(o.S, int(x))
 			return ds, g, o.K, o.MaxLen, err
@@ -210,7 +217,7 @@ func RunE6(o SweepOptions) (*Series, error) {
 	for _, n := range ns {
 		g := grid.NewSquare(int(n))
 		xs = append(xs, float64(g.NumCells()))
-		tpSec, pbSec, err := timeMiners(ds, g, o.K, o.MaxLen)
+		tpSec, pbSec, err := timeMiners(ds, g, o.K, o.MaxLen, o.Metrics)
 		if err != nil {
 			return nil, err
 		}

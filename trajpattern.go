@@ -37,6 +37,7 @@ import (
 	"trajpattern/internal/datagen"
 	"trajpattern/internal/geom"
 	"trajpattern/internal/grid"
+	"trajpattern/internal/obs"
 	"trajpattern/internal/predict"
 	"trajpattern/internal/report"
 	"trajpattern/internal/stat"
@@ -159,6 +160,20 @@ func Similar(a, b Pattern, g *Grid, gamma float64) bool { return core.Similar(a,
 
 // Explanation breaks a pattern's NM down per trajectory.
 type Explanation = core.Explanation
+
+// Observability. Attach a registry via ScorerConfig.Metrics and
+// MinerConfig.Metrics to collect miner/scorer instrumentation; leaving the
+// fields nil keeps the hot paths free of collection cost.
+type (
+	// MetricsRegistry collects atomic counters, gauges and phase timers.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, with
+	// deterministic text (String) and JSON serialization.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
 
 // SavePatterns persists scored patterns as JSON.
 func SavePatterns(path string, patterns []ScoredPattern) error {
