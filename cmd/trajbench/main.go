@@ -13,6 +13,8 @@
 //	trajbench -exp e3,e7 -scale 0.3 -json bench.json
 //	trajbench -exp e3,e7 -scale 0.3 -check results/bench_baseline.json -tol 15
 //	trajbench -exp e3 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	trajbench -exp e3 -trace run.trace -progress
+//	trajbench -debug-addr localhost:6060
 //
 // Experiments: e1 (§6.1 pattern lengths), e2 (Figure 3), e3–e6
 // (Figure 4a–d), e7 (Figure 4e), e8 (§6.1 on posture data), e9 (pattern
@@ -32,6 +34,7 @@ import (
 	"strings"
 
 	"trajpattern/internal/cli"
+	"trajpattern/internal/trace"
 )
 
 func main() {
@@ -44,6 +47,9 @@ func main() {
 		checkPath  = flag.String("check", "", "baseline bench.json to compare against; exit non-zero on regression")
 		tol        = flag.Float64("tol", cli.DefaultBenchTolerance, "allowed drift percentage for -check")
 		checkTime  = flag.Bool("checktime", false, "also gate -check on wall time (same-machine baselines only)")
+		trcPath    = flag.String("trace", "", "write a span/event journal (JSONL) here and a Chrome trace to <file>.json")
+		prog       = flag.Bool("progress", false, "print a live one-line progress status to stderr")
+		dbgAddr    = flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /trace/status on this address")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -55,6 +61,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	var tracer *trace.Tracer
+	if *trcPath != "" {
+		tracer = trace.New()
+	}
+	holder := &cli.MetricsHolder{}
+	if *dbgAddr != "" {
+		url, stop, derr := cli.StartDebugServer(*dbgAddr, holder, tracer)
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "trajbench: %v\n", derr)
+			os.Exit(1)
+		}
+		defer stop() //nolint:errcheck // process is exiting anyway
+		fmt.Fprintf(os.Stderr, "trajbench: debug server at %s\n", url)
+	}
+	var printer *cli.ProgressPrinter
+	if *prog {
+		printer = cli.NewProgressPrinter(os.Stderr, 0)
+	}
+
 	_, err = cli.RunBench(os.Stdout, cli.BenchOptions{
 		Experiments: strings.Split(*which, ","),
 		Scale:       *scale,
@@ -64,7 +89,20 @@ func main() {
 		CheckPath:   *checkPath,
 		TolPct:      *tol,
 		CheckTime:   *checkTime,
+		Tracer:      tracer,
+		Progress:    printer.Update,
+		Holder:      holder,
 	})
+	printer.Done()
+	if terr := cli.SaveTrace(*trcPath, tracer); terr != nil {
+		fmt.Fprintf(os.Stderr, "trajbench: %v\n", terr)
+		if err == nil {
+			err = terr
+		}
+	} else if tracer != nil {
+		fmt.Fprintf(os.Stderr, "trajbench: wrote %d trace records to %s (+ %s.json)\n",
+			tracer.Len(), *trcPath, *trcPath)
+	}
 	if perr := stopProfiles(); perr != nil {
 		fmt.Fprintf(os.Stderr, "trajbench: %v\n", perr)
 		if err == nil {

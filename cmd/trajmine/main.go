@@ -8,6 +8,8 @@
 //	trajmine -in bus.jsonl -k 50 -minlen 4 -measure match
 //	trajmine -in zebra.jsonl -viz
 //	trajmine -in zebra.jsonl -metrics -cpuprofile cpu.pprof
+//	trajmine -in zebra.jsonl -trace run.trace -progress
+//	trajmine -in zebra.jsonl -debug-addr localhost:6060
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"os"
 
 	"trajpattern/internal/cli"
+	"trajpattern/internal/obs"
+	"trajpattern/internal/trace"
 	"trajpattern/internal/traj"
 )
 
@@ -32,6 +36,10 @@ func main() {
 		viz     = flag.Bool("viz", false, "render ASCII heatmap of the data and the best pattern")
 		save    = flag.String("savepats", "", "persist scored patterns to this JSON file")
 		metrics = flag.Bool("metrics", false, "collect and print miner/scorer metrics")
+		metOut  = flag.String("metricsout", "", "write the provenance-stamped metrics report (JSON) to this file")
+		trcPath = flag.String("trace", "", "write a span/event journal (JSONL) here and a Chrome trace to <file>.json")
+		prog    = flag.Bool("progress", false, "print a live one-line progress status to stderr")
+		dbgAddr = flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /trace/status on this address")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -51,18 +59,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trajmine: %v\n", err)
 		os.Exit(1)
 	}
+
+	var tracer *trace.Tracer
+	if *trcPath != "" {
+		tracer = trace.New()
+	}
+	var reg *obs.Registry
+	if *metrics || *metOut != "" || *dbgAddr != "" {
+		reg = obs.New()
+	}
+	if *dbgAddr != "" {
+		holder := &cli.MetricsHolder{}
+		holder.Set(reg)
+		url, stop, derr := cli.StartDebugServer(*dbgAddr, holder, tracer)
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "trajmine: %v\n", derr)
+			os.Exit(1)
+		}
+		defer stop() //nolint:errcheck // process is exiting anyway
+		fmt.Fprintf(os.Stderr, "trajmine: debug server at %s\n", url)
+	}
+	var printer *cli.ProgressPrinter
+	if *prog {
+		printer = cli.NewProgressPrinter(os.Stderr, 0)
+	}
+
 	_, err = cli.Mine(os.Stdout, ds, cli.MineOptions{
-		K:        *k,
-		GridN:    *gridN,
-		MinLen:   *minLen,
-		MaxLen:   *maxLen,
-		DeltaMul: *deltaMu,
-		Measure:  *measure,
-		Groups:   *groups,
-		Viz:      *viz,
-		SavePath: *save,
-		Metrics:  *metrics,
+		K:          *k,
+		GridN:      *gridN,
+		MinLen:     *minLen,
+		MaxLen:     *maxLen,
+		DeltaMul:   *deltaMu,
+		Measure:    *measure,
+		Groups:     *groups,
+		Viz:        *viz,
+		SavePath:   *save,
+		Metrics:    *metrics,
+		MetricsOut: *metOut,
+		Registry:   reg,
+		Tracer:     tracer,
+		OnProgress: printer.Update,
 	})
+	printer.Done()
+	if terr := cli.SaveTrace(*trcPath, tracer); terr != nil {
+		fmt.Fprintf(os.Stderr, "trajmine: %v\n", terr)
+		if err == nil {
+			err = terr
+		}
+	} else if tracer != nil {
+		fmt.Fprintf(os.Stderr, "trajmine: wrote %d trace records to %s (+ %s.json)\n",
+			tracer.Len(), *trcPath, *trcPath)
+	}
 	if perr := stopProfiles(); perr != nil {
 		fmt.Fprintf(os.Stderr, "trajmine: %v\n", perr)
 		if err == nil {

@@ -10,8 +10,10 @@ import (
 	"strings"
 	"time"
 
+	"trajpattern/internal/core"
 	"trajpattern/internal/exp"
 	"trajpattern/internal/obs"
+	"trajpattern/internal/trace"
 )
 
 // BenchSchema versions the bench.json layout; bump on incompatible change.
@@ -52,6 +54,16 @@ type BenchOptions struct {
 	// baseline; the default gate uses the deterministic work counters,
 	// which are machine-independent.
 	CheckTime bool
+
+	// Tracer, when non-nil, records spans and events across every
+	// instrumented experiment (the caller writes the files; see SaveTrace).
+	Tracer *trace.Tracer
+	// Progress, when non-nil, receives per-iteration miner state from the
+	// sweep experiments (a ProgressPrinter under -progress).
+	Progress func(core.Progress)
+	// Holder, when non-nil, has the current experiment's registry published
+	// into it so a debug server can watch the run live.
+	Holder *MetricsHolder
 }
 
 // ExperimentResult is one experiment's entry in bench.json.
@@ -74,10 +86,11 @@ type ExperimentResult struct {
 // BenchResult is the machine-readable output of one trajbench run
 // (bench.json), comparable across commits via RunBench's check mode.
 type BenchResult struct {
-	Schema      int                          `json:"schema"`
-	GoVersion   string                       `json:"go_version"`
-	GOOS        string                       `json:"goos"`
-	GOARCH      string                       `json:"goarch"`
+	Schema int `json:"schema"`
+	// Provenance stamps the build and host that produced the run (commit,
+	// Go version, GOOS/GOARCH, GOMAXPROCS), so drift flagged against a
+	// baseline is attributable to a code change versus an environment one.
+	Provenance  obs.Provenance               `json:"provenance"`
 	Scale       float64                      `json:"scale"`
 	Seed        uint64                       `json:"seed"`
 	Experiments map[string]*ExperimentResult `json:"experiments"`
@@ -122,9 +135,7 @@ func RunBench(w io.Writer, o BenchOptions) (*BenchResult, error) {
 
 	result := &BenchResult{
 		Schema:      BenchSchema,
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
+		Provenance:  obs.CollectProvenance(),
 		Scale:       o.Scale,
 		Seed:        o.Seed,
 		Experiments: make(map[string]*ExperimentResult),
@@ -136,8 +147,12 @@ func RunBench(w io.Writer, o BenchOptions) (*BenchResult, error) {
 			continue
 		}
 		reg := obs.New()
+		o.Holder.Set(reg)
 		bus := exp.BusOptions{Scale: o.Scale, Seed: o.Seed}
-		sweep := exp.SweepOptions{Scale: o.Scale, Seed: o.Seed, Metrics: reg}
+		sweep := exp.SweepOptions{
+			Scale: o.Scale, Seed: o.Seed,
+			Metrics: reg, Tracer: o.Tracer, Progress: o.Progress,
+		}
 
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)

@@ -7,6 +7,7 @@ package cli
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"trajpattern/internal/baseline"
 	"trajpattern/internal/core"
@@ -15,6 +16,7 @@ import (
 	"trajpattern/internal/geom"
 	"trajpattern/internal/grid"
 	"trajpattern/internal/obs"
+	"trajpattern/internal/trace"
 	"trajpattern/internal/traj"
 	"trajpattern/internal/viz"
 )
@@ -68,6 +70,20 @@ type MineOptions struct {
 	Viz      bool    // render ASCII maps
 	SavePath string  // when set, persist the scored patterns as JSON
 	Metrics  bool    // collect and print an obs metrics snapshot
+
+	// Registry, when non-nil, collects metrics into the caller's registry
+	// (so a debug server can watch the run live); otherwise Mine creates
+	// one per run when Metrics is set.
+	Registry *obs.Registry
+	// MetricsOut, when non-empty, writes the provenance-stamped metrics
+	// report (obs.Report JSON) to this path.
+	MetricsOut string
+	// Tracer, when non-nil, records structured spans and events of the run
+	// (the caller writes the journal; see SaveTrace).
+	Tracer *trace.Tracer
+	// OnProgress, when non-nil, receives the miner's per-iteration state
+	// (install a ProgressPrinter's Update for -progress). NM measure only.
+	OnProgress func(core.Progress)
 }
 
 // FitGrid builds a square grid covering the dataset bounds with a 3σ̄
@@ -96,11 +112,13 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 		return nil, fmt.Errorf("cli: empty dataset")
 	}
 	g := FitGrid(ds, o.GridN)
-	var reg *obs.Registry // nil unless -metrics: the nil registry is free
-	if o.Metrics {
+	reg := o.Registry // nil unless -metrics: the nil registry is free
+	if reg == nil && (o.Metrics || o.MetricsOut != "") {
 		reg = obs.New()
 	}
-	s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: o.DeltaMul * g.CellWidth(), Metrics: reg})
+	s, err := core.NewScorer(ds, core.Config{
+		Grid: g, Delta: o.DeltaMul * g.CellWidth(), Metrics: reg, Tracer: o.Tracer,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +130,8 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 	switch o.Measure {
 	case "nm":
 		res, err := core.Mine(s, core.MinerConfig{
-			K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K, Metrics: reg,
+			K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K,
+			Metrics: reg, Tracer: o.Tracer, OnProgress: o.OnProgress,
 		})
 		if err != nil {
 			return nil, err
@@ -159,7 +178,16 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 	}
 
 	if reg != nil {
-		fmt.Fprintf(w, "\nmetrics:\n%s", reg.Snapshot())
+		snap := reg.Snapshot()
+		if o.Metrics {
+			fmt.Fprintf(w, "\nmetrics:\n%s", snap)
+		}
+		if o.MetricsOut != "" {
+			if err := WriteMetricsReport(o.MetricsOut, snap); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "wrote metrics report to %s\n", o.MetricsOut)
+		}
 	}
 
 	if o.Viz && len(patterns) > 0 {
@@ -171,7 +199,7 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 
 	if o.Groups && len(patterns) > 0 {
 		gamma := core.DefaultGamma(ds.MeanSigma())
-		gs, err := core.DiscoverGroups(patterns, g, gamma)
+		gs, err := core.DiscoverGroupsTraced(patterns, g, gamma, o.Tracer)
 		if err != nil {
 			return nil, err
 		}
@@ -185,4 +213,17 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 		}
 	}
 	return patterns, nil
+}
+
+// WriteMetricsReport writes a provenance-stamped obs report (commit, Go
+// version, host shape, plus the full snapshot) as JSON to path.
+func WriteMetricsReport(path string, s obs.Snapshot) error {
+	data, err := obs.NewReport(s).JSON()
+	if err != nil {
+		return fmt.Errorf("cli: marshal metrics report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cli: write metrics report: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"trajpattern/internal/core"
+)
+
+// DefaultProgressInterval is the minimum delay between two progress lines
+// when ProgressOptions leave the interval unset.
+const DefaultProgressInterval = 500 * time.Millisecond
+
+// ProgressPrinter renders a miner's live state as a throttled one-line
+// status (iteration, |H|/|Q|, answer fill, candidate count, ETA bound),
+// the -progress flag of trajmine and trajbench. Updates arrive on the
+// mining goroutine and are rate-limited so a fast run costs a handful of
+// writes; Done flushes the final state. All methods are safe on a nil
+// receiver, so callers can hold an optional printer without guards.
+type ProgressPrinter struct {
+	w     io.Writer
+	every time.Duration
+
+	mu     sync.Mutex
+	start  time.Time
+	last   time.Time
+	latest core.Progress
+	dirty  bool
+	wrote  bool
+}
+
+// NewProgressPrinter returns a printer writing to w at most once per
+// interval (DefaultProgressInterval when interval <= 0).
+func NewProgressPrinter(w io.Writer, interval time.Duration) *ProgressPrinter {
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	return &ProgressPrinter{w: w, every: interval, start: time.Now()}
+}
+
+// Update records the miner's state and prints it if the throttle allows.
+// It is the function to install as MinerConfig.OnProgress.
+func (p *ProgressPrinter) Update(u core.Progress) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latest = u
+	p.dirty = true
+	now := time.Now()
+	if !p.last.IsZero() && now.Sub(p.last) < p.every {
+		return
+	}
+	p.last = now
+	p.print()
+}
+
+// Done prints the final state (if any update was never printed) and
+// terminates the status line. Call it once after the run.
+func (p *ProgressPrinter) Done() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dirty {
+		p.print()
+	}
+	if p.wrote {
+		fmt.Fprintln(p.w)
+	}
+}
+
+// print renders the latest update. Caller holds p.mu.
+func (p *ProgressPrinter) print() {
+	u := p.latest
+	line := fmt.Sprintf("iter %d/%d  |H|=%d |Q|=%d  answer %d/%d  candidates %d  %s",
+		u.Iteration, u.MaxIters, u.HighSize, u.QSize, u.AnswerSize, u.K,
+		u.Candidates, etaString(u))
+	// \r + padding redraws in place on a terminal; each line still ends up
+	// on its own row in a captured log.
+	fmt.Fprintf(p.w, "\r%-78s", line)
+	p.dirty = false
+	p.wrote = true
+}
+
+// etaString bounds the time remaining. The miner usually terminates well
+// before MaxIters, so the per-iteration extrapolation is reported as an
+// upper bound rather than an estimate.
+func etaString(u core.Progress) string {
+	if u.Iteration <= 0 || u.Elapsed <= 0 {
+		return ""
+	}
+	if u.Iteration >= u.MaxIters {
+		return fmt.Sprintf("elapsed %s", u.Elapsed.Round(100*time.Millisecond))
+	}
+	per := u.Elapsed / time.Duration(u.Iteration)
+	eta := per * time.Duration(u.MaxIters-u.Iteration)
+	return fmt.Sprintf("elapsed %s, ETA ≤ %s",
+		u.Elapsed.Round(100*time.Millisecond), eta.Round(100*time.Millisecond))
+}

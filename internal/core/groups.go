@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"trajpattern/internal/grid"
+	"trajpattern/internal/trace"
 )
 
 // Group is a pattern group (Definition 2): a set of patterns of equal
@@ -87,6 +88,24 @@ func Similar(a, b Pattern, g *grid.Grid, gamma float64) bool {
 // invariant, every input pattern appears in exactly one group, and the
 // output order is deterministic. The paper recommends γ = 3σ̄ (Section 5).
 func DiscoverGroups(patterns []Pattern, g *grid.Grid, gamma float64) ([]Group, error) {
+	return DiscoverGroupsTraced(patterns, g, gamma, nil)
+}
+
+// DiscoverGroupsTraced is DiscoverGroups with run tracing: when tr is
+// non-nil the clustering is recorded as one "groups.cluster" span (pattern
+// count, γ, resulting group count) on the shared run timeline.
+func DiscoverGroupsTraced(patterns []Pattern, g *grid.Grid, gamma float64, tr *trace.Tracer) ([]Group, error) {
+	var sp *trace.Span
+	if tr != nil {
+		sp = tr.Local().Span("groups.cluster", trace.Attrs{"patterns": len(patterns), "gamma": gamma})
+	}
+	groups, err := discoverGroups(patterns, g, gamma)
+	sp.Attr("groups", len(groups)).End()
+	return groups, err
+}
+
+// discoverGroups is the untraced §4.2 procedure.
+func discoverGroups(patterns []Pattern, g *grid.Grid, gamma float64) ([]Group, error) {
 	if gamma < 0 {
 		return nil, fmt.Errorf("core: negative gamma %v", gamma)
 	}

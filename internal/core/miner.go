@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"trajpattern/internal/obs"
+	"trajpattern/internal/trace"
 )
 
 // MinerConfig parameterizes the TrajPattern algorithm (Section 4).
@@ -66,6 +68,31 @@ type MinerConfig struct {
 	// see DESIGN.md for the name-to-paper-quantity map). Nil disables
 	// collection at the cost of one nil check per event.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records the run's timeline: a "miner.run"
+	// span, one "miner.iteration" span per grow iteration, and one
+	// "miner.candidate.{admitted,readmitted,pruned}" event per candidate
+	// with its pattern key, NM value and iteration (see DESIGN.md for the
+	// span/event-to-§4-phase map). Nil disables tracing at the cost of one
+	// nil check per site.
+	Tracer *trace.Tracer
+	// OnProgress, when non-nil, is invoked once per grow iteration with
+	// the miner's live state, after candidate generation and pruning. It
+	// runs on the mining goroutine — keep it fast (the CLIs install a
+	// throttled printer).
+	OnProgress func(Progress)
+}
+
+// Progress is the point-in-time view of a running Mine call handed to
+// MinerConfig.OnProgress.
+type Progress struct {
+	Iteration  int           // 1-based grow iteration just finished
+	MaxIters   int           // the MaxIters bound (after defaults)
+	QSize      int           // |Q| after pruning
+	HighSize   int           // |H| at the last labeling
+	AnswerSize int           // running answer-set size (≤ K)
+	K          int           // patterns wanted
+	Candidates int           // cumulative candidates NM-evaluated (incl. seeds)
+	Elapsed    time.Duration // wall time since Mine started
 }
 
 // Defaults for MinerConfig.
@@ -211,6 +238,14 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 	m := newMinerMetrics(cfg.Metrics)
 	defer m.total.Start()()
 
+	start := time.Now()
+	tl := cfg.Tracer.Local()
+	var runSpan *trace.Span
+	if tl != nil {
+		runSpan = tl.Span("miner.run", trace.Attrs{"k": cfg.K, "seeds": len(seeds)})
+	}
+	defer runSpan.End()
+
 	// Q and the evaluation memo. The memo survives pruning so a pattern
 	// regenerated in a later iteration is never rescored.
 	q := make(map[string]*entry, len(seeds))
@@ -242,6 +277,10 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 		stats.Iterations = iter + 1
 		m.iterations.Inc()
 		stopIter := m.iteration.Start()
+		var iterSpan *trace.Span
+		if tl != nil {
+			iterSpan = tl.Span("miner.iteration", trace.Attrs{"iter": iter + 1})
+		}
 
 		lab := label(q, cfg.K, cfg.MinLen, cfg.MaxHigh)
 		m.highCapped.Add(int64(lab.capped))
@@ -266,6 +305,7 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 				m.termDry.Inc()
 			}
 			terminated = true
+			iterSpan.Attr("q", len(q)).Attr("high", len(lab.high)).Attr("terminated", true).End()
 			stopIter()
 			break
 		}
@@ -296,6 +336,9 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 			if nm, ok := evaluated[k]; ok {
 				insert(p, nm) // re-admit a previously pruned pattern
 				m.readmitted.Inc()
+				if tl != nil {
+					tl.Event("miner.candidate.readmitted", trace.Attrs{"pattern": k, "nm": nm, "iter": iter + 1})
+				}
 				return
 			}
 			fresh = append(fresh, p)
@@ -316,6 +359,11 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 			}
 			stats.Candidates += len(fresh)
 			m.fresh.Add(int64(len(fresh)))
+			if tl != nil {
+				for i, p := range fresh {
+					tl.Event("miner.candidate.admitted", trace.Attrs{"pattern": p.Key(), "nm": nms[i], "iter": iter + 1})
+				}
+			}
 		}
 
 		if len(q) > stats.MaxQ {
@@ -349,6 +397,9 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 				delete(q, k)
 				stats.Pruned++
 				m.prunedExt.Inc()
+				if tl != nil {
+					tl.Event("miner.candidate.pruned", trace.Attrs{"pattern": k, "nm": e.nm, "reason": "extension", "iter": iter + 1})
+				}
 			}
 		}
 		if cfg.MaxLowQ > 0 {
@@ -364,17 +415,34 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 					delete(q, e.key)
 					stats.LowCapped++
 					m.prunedCap.Inc()
+					if tl != nil {
+						tl.Event("miner.candidate.pruned", trace.Attrs{"pattern": e.key, "nm": e.nm, "reason": "lowcap", "iter": iter + 1})
+					}
 				}
 			}
 		}
 		m.lowSize.Set(int64(len(q) - len(newLab.high)))
+		iterSpan.Attr("q", len(q)).Attr("high", len(newLab.high)).Attr("fresh", lastFresh).End()
 		stopIter()
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(Progress{
+				Iteration:  iter + 1,
+				MaxIters:   cfg.MaxIters,
+				QSize:      len(q),
+				HighSize:   len(newLab.high),
+				AnswerSize: len(newLab.ansKey),
+				K:          cfg.K,
+				Candidates: stats.Candidates,
+				Elapsed:    time.Since(start),
+			})
+		}
 	}
 	if !terminated {
 		m.termMaxIter.Inc()
 	}
 	m.qFinal.Set(int64(len(q)))
 	m.retained.Add(int64(len(q)))
+	runSpan.Attr("iterations", stats.Iterations).Attr("q_final", len(q))
 
 	stats.NMEvaluations = s.NMEvaluations()
 	return &Result{Patterns: topK(q, cfg.K, cfg.MinLen), Stats: stats}, nil

@@ -10,6 +10,7 @@ import (
 	"trajpattern/internal/grid"
 	"trajpattern/internal/obs"
 	"trajpattern/internal/stat"
+	"trajpattern/internal/trace"
 	"trajpattern/internal/traj"
 )
 
@@ -68,6 +69,11 @@ type Config struct {
 	// under "scorer.*" names). Nil disables collection at the cost of one
 	// nil check per event.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records one "scorer.batch" span per ScoreAll
+	// call (patterns and cells per batch) on the run timeline; StreamNM
+	// additionally records a "stream.pass" span per pass. Nil disables
+	// tracing at the cost of one nil check per batch.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -114,7 +120,8 @@ type Scorer struct {
 	cache   map[int][]float64 // cell index -> per-flat-position log prob
 	nmEvals int               // number of NM evaluations (for MinerStats)
 
-	m scorerMetrics
+	m  scorerMetrics
+	tl *trace.Local // batch-span recorder; nil when Config.Tracer is nil
 }
 
 // scorerMetrics holds the resolved obs handles of one Scorer. All fields
@@ -167,6 +174,7 @@ func NewScorer(data traj.Dataset, cfg Config) (*Scorer, error) {
 		offsets: make([]int, len(data)+1),
 		cache:   make(map[int][]float64),
 		m:       newScorerMetrics(cfg.Metrics),
+		tl:      cfg.Tracer.Local(),
 	}
 	for i, t := range data {
 		s.offsets[i+1] = s.offsets[i] + len(t)
@@ -382,6 +390,11 @@ func (s *Scorer) ScoreAll(patterns []Pattern) []float64 {
 	s.m.batches.Inc()
 	s.m.batchPats.Add(int64(len(patterns)))
 	s.m.batchMax.SetMax(int64(len(patterns)))
+	var sp *trace.Span
+	if s.tl != nil {
+		sp = s.tl.Span("scorer.batch", trace.Attrs{"patterns": len(patterns)})
+	}
+	defer sp.End()
 
 	cells := make(map[int]struct{})
 	for _, p := range patterns {
@@ -394,6 +407,7 @@ func (s *Scorer) ScoreAll(patterns []Pattern) []float64 {
 		order = append(order, c)
 	}
 	sort.Ints(order)
+	sp.Attr("cells", len(order))
 	s.Prepare(order)
 
 	out := make([]float64, len(patterns))

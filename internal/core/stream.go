@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"trajpattern/internal/trace"
 	"trajpattern/internal/traj"
 )
 
@@ -48,10 +49,15 @@ func (c *SliceCursor) Reset() error {
 }
 
 // FileCursor streams trajectories from a JSON-lines file without keeping
-// previously read trajectories alive.
+// previously read trajectories alive. The file descriptor is held only
+// while a scan is in flight: Next releases it at end of file and on the
+// first read error, Reset releases it before restarting, and Close
+// releases it on early abort (a caller that stops mid-scan must call
+// Close, or the descriptor lives until the cursor is garbage collected).
 type FileCursor struct {
 	path string
 	r    *traj.Reader
+	done bool // EOF or a read error ended the scan; Reset/Close rearm
 }
 
 // NewFileCursor returns a cursor over the JSON-lines dataset at path.
@@ -59,8 +65,13 @@ func NewFileCursor(path string) *FileCursor {
 	return &FileCursor{path: path}
 }
 
-// Next implements Cursor.
+// Next implements Cursor. After the last trajectory (or after a read
+// error) the underlying file is closed and every further call returns
+// (nil, nil) until Reset.
 func (c *FileCursor) Next() (traj.Trajectory, error) {
+	if c.done {
+		return nil, nil
+	}
 	if c.r == nil {
 		r, err := traj.OpenReader(c.path)
 		if err != nil {
@@ -68,12 +79,38 @@ func (c *FileCursor) Next() (traj.Trajectory, error) {
 		}
 		c.r = r
 	}
-	return c.r.Next()
+	t, err := c.r.Next()
+	if err != nil {
+		c.done = true
+		c.release() // the read error is the more useful one to surface
+		return nil, err
+	}
+	if t == nil {
+		c.done = true
+		if cerr := c.release(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return t, nil
 }
 
 // Reset implements Cursor: it closes the current scan so the next call to
 // Next reopens the file from the beginning.
 func (c *FileCursor) Reset() error {
+	c.done = false
+	return c.release()
+}
+
+// Close releases the file descriptor without rearming the cursor: further
+// Next calls return (nil, nil) until Reset. Closing an idle or already
+// closed cursor is a no-op, so Close is safe to defer unconditionally.
+func (c *FileCursor) Close() error {
+	c.done = true
+	return c.release()
+}
+
+// release closes the open reader, if any.
+func (c *FileCursor) release() error {
 	if c.r == nil {
 		return nil
 	}
@@ -114,8 +151,18 @@ func StreamNM(cur Cursor, cfg Config, patterns []Pattern) ([]float64, error) {
 	trajectories := cfg.Metrics.Counter("stream.trajectories")
 	cfg.Metrics.Gauge("stream.patterns").Set(int64(len(patterns)))
 	defer cfg.Metrics.Timer("stream.time.total").Start()()
+	var sp *trace.Span
+	if cfg.Tracer != nil {
+		sp = cfg.Tracer.Local().Span("stream.pass", trace.Attrs{"patterns": len(patterns)})
+	}
+	// The tracer must not reach the per-trajectory scorers: each NewScorer
+	// would register one buffer per trajectory with the tracer, an
+	// unbounded accumulation over a large stream (the whole point of this
+	// path). The pass-level span carries the stream's timeline instead.
+	cfg.Tracer = nil
 	sums := make([]float64, len(patterns))
 	n := 0
+	defer func() { sp.Attr("trajectories", n).End() }()
 	for {
 		t, err := cur.Next()
 		if err != nil {

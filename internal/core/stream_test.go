@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -88,6 +89,105 @@ func TestStreamNMValidation(t *testing.T) {
 	}
 	if _, err := StreamNM(NewFileCursor("/nonexistent/x.jsonl"), cfg, []Pattern{{0}}); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestFileCursorReleasesOnError checks the error-path descriptor
+// handling: a malformed line fails Next, and the cursor must have closed
+// the file rather than holding it until Reset.
+func TestFileCursorReleasesOnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	data := randomDataset(25, 2, 6, 0.1)
+	if err := traj.WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, []byte("{not json\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewFileCursor(path)
+	var readErr error
+	for {
+		tr, err := c.Next()
+		if err != nil {
+			readErr = err
+			break
+		}
+		if tr == nil {
+			break
+		}
+	}
+	if readErr == nil {
+		t.Fatal("malformed line did not fail Next")
+	}
+	if c.r != nil {
+		t.Error("file descriptor still held after a read error")
+	}
+	// The failed scan stays terminated until Reset: no silent restart.
+	if tr, err := c.Next(); err != nil || tr != nil {
+		t.Errorf("Next after error = (%v, %v), want (nil, nil)", tr, err)
+	}
+	if err := c.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if tr, err := c.Next(); err != nil || tr == nil {
+		t.Errorf("Next after Reset = (%v, %v), want a trajectory", tr, err)
+	}
+	if c.r == nil {
+		t.Fatal("expected an open reader mid-scan")
+	}
+	// Early abort: Close mid-scan releases the descriptor and terminates.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.r != nil {
+		t.Error("file descriptor still held after Close")
+	}
+	if tr, err := c.Next(); err != nil || tr != nil {
+		t.Errorf("Next after Close = (%v, %v), want (nil, nil)", tr, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestFileCursorClosesAtEOF checks the normal path releases the
+// descriptor as soon as the last trajectory has been read.
+func TestFileCursorClosesAtEOF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.jsonl")
+	data := randomDataset(26, 3, 6, 0.1)
+	if err := traj.WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	c := NewFileCursor(path)
+	defer c.Close()
+	n := 0
+	for {
+		tr, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr == nil {
+			break
+		}
+		n++
+	}
+	if n != len(data) {
+		t.Fatalf("read %d trajectories, want %d", n, len(data))
+	}
+	if c.r != nil {
+		t.Error("file descriptor still held after EOF")
+	}
+	// Idempotent EOF: further Next calls stay (nil, nil) without reopening.
+	if tr, err := c.Next(); err != nil || tr != nil {
+		t.Errorf("Next after EOF = (%v, %v), want (nil, nil)", tr, err)
+	}
+	if c.r != nil {
+		t.Error("Next after EOF reopened the file")
 	}
 }
 

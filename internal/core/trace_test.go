@@ -1,0 +1,231 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"trajpattern/internal/grid"
+	"trajpattern/internal/obs"
+	"trajpattern/internal/trace"
+)
+
+// traceCounts tallies a tracer's records by name.
+func traceCounts(tr *trace.Tracer) map[string]int {
+	out := map[string]int{}
+	for _, e := range tr.Events() {
+		out[e.Name]++
+	}
+	return out
+}
+
+// TestMinerTraceConsistency cross-checks the trace journal against the obs
+// counters of the same run: every admitted/readmitted/pruned candidate
+// event matches its counter, every iteration has a span, and the journal
+// is deterministic (same counts on a re-run over the same data).
+func TestMinerTraceConsistency(t *testing.T) {
+	g := grid.NewSquare(3)
+	data := patternedDatasetPts(17, g, []int{0, 4, 8}, 6, 3, 0.05, 0.02)
+
+	run := func() (*Result, map[string]int, obs.Snapshot) {
+		reg := obs.New()
+		tr := trace.New()
+		s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth(), Metrics: reg, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Mine(s, MinerConfig{K: 3, MaxLen: 4, MaxLowQ: 12, Metrics: reg, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, traceCounts(tr), reg.Snapshot()
+	}
+
+	res, counts, snap := run()
+	if got := counts["miner.run"]; got != 1 {
+		t.Errorf("miner.run spans = %d, want 1", got)
+	}
+	if got := counts["miner.iteration"]; got != res.Stats.Iterations {
+		t.Errorf("miner.iteration spans = %d, stats say %d iterations", got, res.Stats.Iterations)
+	}
+	if got := counts["miner.candidate.admitted"]; got != int(snap.Counter("miner.candidates.fresh")) {
+		t.Errorf("admitted events = %d, counter says %d", got, snap.Counter("miner.candidates.fresh"))
+	}
+	if got := counts["miner.candidate.readmitted"]; got != int(snap.Counter("miner.candidates.readmitted")) {
+		t.Errorf("readmitted events = %d, counter says %d", got, snap.Counter("miner.candidates.readmitted"))
+	}
+	pruned := snap.Counter("miner.pruned.extension") + snap.Counter("miner.pruned.lowcap")
+	if got := counts["miner.candidate.pruned"]; got != int(pruned) {
+		t.Errorf("pruned events = %d, counters say %d", got, pruned)
+	}
+	if got := counts["scorer.batch"]; got != int(snap.Counter("scorer.batches")) {
+		t.Errorf("scorer.batch spans = %d, counter says %d", got, snap.Counter("scorer.batches"))
+	}
+	if counts["miner.candidate.admitted"] == 0 || counts["miner.candidate.pruned"] == 0 {
+		t.Fatalf("workload too small to exercise tracing: %v", counts)
+	}
+
+	// Deterministic event counts under a fixed dataset/config.
+	res2, counts2, _ := run()
+	if !reflect.DeepEqual(counts, counts2) {
+		t.Errorf("trace counts differ across identical runs:\n%v\n%v", counts, counts2)
+	}
+
+	// Tracing must not change the mined result.
+	s3, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := Mine(s3, MinerConfig{K: 3, MaxLen: 4, MaxLowQ: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []*Result{res2, res3} {
+		if !reflect.DeepEqual(res.Patterns, other.Patterns) {
+			t.Error("tracing changed the mined patterns")
+		}
+	}
+}
+
+// TestMinerTraceAttrs spot-checks the journal payloads: candidate events
+// carry a parseable pattern key, an NM value and the 1-based iteration.
+func TestMinerTraceAttrs(t *testing.T) {
+	g := grid.NewSquare(3)
+	data := patternedDatasetPts(9, g, []int{0, 4}, 5, 3, 0.05, 0.02)
+	tr := trace.New()
+	s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth(), Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mine(s, MinerConfig{K: 2, MaxLen: 3, MaxLowQ: 8, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range tr.Events() {
+		switch e.Name {
+		case "miner.candidate.admitted", "miner.candidate.readmitted", "miner.candidate.pruned":
+			key, ok := e.Attrs["pattern"].(string)
+			if !ok {
+				t.Fatalf("%s event without pattern key: %v", e.Name, e.Attrs)
+			}
+			if _, err := ParsePattern(key); err != nil {
+				t.Errorf("%s pattern %q does not parse: %v", e.Name, key, err)
+			}
+			if _, ok := e.Attrs["nm"].(float64); !ok {
+				t.Errorf("%s event without nm: %v", e.Name, e.Attrs)
+			}
+			if iter, ok := e.Attrs["iter"].(int); !ok || iter < 1 {
+				t.Errorf("%s event with bad iter: %v", e.Name, e.Attrs)
+			}
+			if e.Name == "miner.candidate.pruned" {
+				if r := e.Attrs["reason"]; r != "extension" && r != "lowcap" {
+					t.Errorf("pruned event with reason %v", r)
+				}
+			}
+			checked++
+		case "miner.iteration":
+			if e.Dur < 0 {
+				t.Errorf("iteration span with negative duration")
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no candidate events recorded")
+	}
+}
+
+// TestStreamNMTrace checks the streaming path records one pass span with
+// the trajectory count, and that per-trajectory scorers do not register
+// tracer buffers (the Local count must stay constant per pass).
+func TestStreamNMTrace(t *testing.T) {
+	g := grid.NewSquare(3)
+	data := patternedDatasetPts(5, g, []int{0, 4}, 4, 2, 0.05, 0.02)
+	tr := trace.New()
+	cfg := Config{Grid: g, Delta: g.CellWidth(), Tracer: tr}
+	if _, err := StreamNM(NewSliceCursor(data), cfg, []Pattern{{0, 4}, {4, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("got %d trace records, want exactly 1 stream.pass span (no per-trajectory leakage): %v", len(events), events)
+	}
+	e := events[0]
+	if e.Name != "stream.pass" || e.Kind != trace.KindSpan {
+		t.Fatalf("record = %+v, want a stream.pass span", e)
+	}
+	if got := e.Attrs["trajectories"]; got != len(data) {
+		t.Errorf("stream.pass trajectories attr = %v, want %d", got, len(data))
+	}
+	if got := e.Attrs["patterns"]; got != 2 {
+		t.Errorf("stream.pass patterns attr = %v, want 2", got)
+	}
+}
+
+// TestMinerProgress checks the OnProgress callback fires once per
+// iteration with monotonically consistent state.
+func TestMinerProgress(t *testing.T) {
+	g := grid.NewSquare(3)
+	data := patternedDatasetPts(9, g, []int{0, 4}, 5, 3, 0.05, 0.02)
+	s, err := NewScorer(data, Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates []Progress
+	res, err := Mine(s, MinerConfig{K: 2, MaxLen: 3, MaxLowQ: 8, OnProgress: func(p Progress) {
+		updates = append(updates, p)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final iteration only runs the termination test, which fires no
+	// progress update, so len(updates) is Iterations or Iterations-1.
+	if len(updates) == 0 || len(updates) > res.Stats.Iterations {
+		t.Fatalf("got %d progress updates for %d iterations", len(updates), res.Stats.Iterations)
+	}
+	for i, p := range updates {
+		if p.Iteration != i+1 {
+			t.Errorf("update %d has Iteration %d", i, p.Iteration)
+		}
+		if p.MaxIters != DefaultMaxIters || p.K != 2 {
+			t.Errorf("update %d carries wrong config: %+v", i, p)
+		}
+		if p.QSize <= 0 || p.Candidates <= 0 {
+			t.Errorf("update %d has empty state: %+v", i, p)
+		}
+		if i > 0 && p.Candidates < updates[i-1].Candidates {
+			t.Errorf("Candidates went backwards at update %d", i)
+		}
+		if p.AnswerSize > p.K {
+			t.Errorf("update %d AnswerSize %d > K", i, p.AnswerSize)
+		}
+	}
+}
+
+// TestDiscoverGroupsTraced checks the clustering span and that the traced
+// variant returns the same groups as the plain one.
+func TestDiscoverGroupsTraced(t *testing.T) {
+	g := grid.NewSquare(4)
+	patterns := []Pattern{{0, 1}, {0, 2}, {5, 6}, {10, 11, 12}}
+	gamma := 10 * g.CellWidth()
+	plain, err := DiscoverGroups(patterns, g, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	traced, err := DiscoverGroupsTraced(patterns, g, gamma, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Error("traced grouping differs from plain grouping")
+	}
+	events := tr.Events()
+	if len(events) != 1 || events[0].Name != "groups.cluster" {
+		t.Fatalf("trace records = %v, want one groups.cluster span", events)
+	}
+	if got := events[0].Attrs["groups"]; got != len(traced) {
+		t.Errorf("groups attr = %v, want %d", got, len(traced))
+	}
+	if got := events[0].Attrs["patterns"]; got != len(patterns) {
+		t.Errorf("patterns attr = %v, want %d", got, len(patterns))
+	}
+}

@@ -63,11 +63,14 @@ func RunE7(o E7Options) (*Series, error) {
 	var xs []float64
 	for _, mult := range o.Deltas {
 		delta := mult * g.CellWidth()
-		s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: delta, Metrics: sw.Metrics})
+		s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: delta, Metrics: sw.Metrics, Tracer: sw.Tracer})
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(s, core.MinerConfig{K: sw.K, MaxLen: sw.MaxLen, MaxLowQ: 4 * sw.K, Metrics: sw.Metrics})
+		res, err := core.Mine(s, core.MinerConfig{
+			K: sw.K, MaxLen: sw.MaxLen, MaxLowQ: 4 * sw.K,
+			Metrics: sw.Metrics, Tracer: sw.Tracer, OnProgress: sw.Progress,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +78,7 @@ func RunE7(o E7Options) (*Series, error) {
 		for i, sp := range res.Patterns {
 			patterns[i] = sp.Pattern
 		}
-		groups, err := core.DiscoverGroups(patterns, g, gamma)
+		groups, err := core.DiscoverGroupsTraced(patterns, g, gamma, sw.Tracer)
 		if err != nil {
 			return nil, err
 		}

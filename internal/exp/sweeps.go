@@ -8,6 +8,7 @@ import (
 	"trajpattern/internal/datagen"
 	"trajpattern/internal/grid"
 	"trajpattern/internal/obs"
+	"trajpattern/internal/trace"
 	"trajpattern/internal/traj"
 )
 
@@ -22,6 +23,14 @@ type SweepOptions struct {
 	// instrumented). The bench harness uses the deterministic counters as
 	// its regression-gate quantities.
 	Metrics *obs.Registry
+
+	// Tracer, when non-nil, records structured spans and events across the
+	// sweep's TrajPattern runs (same scope as Metrics).
+	Tracer *trace.Tracer
+
+	// Progress, when non-nil, receives each TrajPattern run's per-iteration
+	// state (a ProgressPrinter under -progress).
+	Progress func(core.Progress)
 
 	// Base workload (each sweep varies one dimension around these).
 	K      int // default 10
@@ -78,21 +87,24 @@ func (o SweepOptions) dataset(s, l int) (traj.Dataset, error) {
 // timeMiners runs TrajPattern and PB on the same dataset/grid and returns
 // the wall-clock seconds of each. Fresh scorers are used per run so cached
 // probabilities do not leak across algorithms.
-func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int, m *obs.Registry) (tpSec, pbSec float64, err error) {
-	mk := func(reg *obs.Registry) (*core.Scorer, error) {
-		return core.NewScorer(ds, core.Config{Grid: g, Delta: g.CellWidth(), Metrics: reg})
+func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int, o SweepOptions) (tpSec, pbSec float64, err error) {
+	mk := func(reg *obs.Registry, tr *trace.Tracer) (*core.Scorer, error) {
+		return core.NewScorer(ds, core.Config{Grid: g, Delta: g.CellWidth(), Metrics: reg, Tracer: tr})
 	}
-	sTP, err := mk(m)
+	sTP, err := mk(o.Metrics, o.Tracer)
 	if err != nil {
 		return 0, 0, err
 	}
 	start := time.Now()
-	if _, err := core.Mine(sTP, core.MinerConfig{K: k, MaxLen: maxLen, MaxLowQ: 4 * k, Metrics: m}); err != nil {
+	if _, err := core.Mine(sTP, core.MinerConfig{
+		K: k, MaxLen: maxLen, MaxLowQ: 4 * k,
+		Metrics: o.Metrics, Tracer: o.Tracer, OnProgress: o.Progress,
+	}); err != nil {
 		return 0, 0, err
 	}
 	tpSec = time.Since(start).Seconds()
 
-	sPB, err := mk(nil)
+	sPB, err := mk(nil, nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -106,7 +118,7 @@ func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int, m *obs.Registry) (
 
 // runSweep executes one Figure 4 sweep: xs are the x-axis values, setup
 // returns the dataset/grid/k for each x.
-func runSweep(title, xLabel string, xs []float64, m *obs.Registry,
+func runSweep(title, xLabel string, xs []float64, o SweepOptions,
 	setup func(x float64) (traj.Dataset, *grid.Grid, int, int, error)) (*Series, error) {
 	tp := Line{Name: "TrajPattern (s)"}
 	pb := Line{Name: "PB (s)"}
@@ -115,7 +127,7 @@ func runSweep(title, xLabel string, xs []float64, m *obs.Registry,
 		if err != nil {
 			return nil, err
 		}
-		tpSec, pbSec, err := timeMiners(ds, g, k, maxLen, m)
+		tpSec, pbSec, err := timeMiners(ds, g, k, maxLen, o)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +151,7 @@ func RunE3(o SweepOptions) (*Series, error) {
 	}
 	g := grid.NewSquare(o.GridN)
 	ks := []float64{2, 5, 10, 20, 40}
-	return runSweep("E3 (Figure 4a): response time vs k", "k", ks, o.Metrics,
+	return runSweep("E3 (Figure 4a): response time vs k", "k", ks, o,
 		func(x float64) (traj.Dataset, *grid.Grid, int, int, error) {
 			return ds, g, int(x), o.MaxLen, nil
 		})
@@ -169,7 +181,7 @@ func RunE4(o SweepOptions) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runSweep("E4 (Figure 4b): response time vs number of trajectories S", "S", ss, o.Metrics,
+	return runSweep("E4 (Figure 4b): response time vs number of trajectories S", "S", ss, o,
 		func(x float64) (traj.Dataset, *grid.Grid, int, int, error) {
 			return full[:int(x)], g, o.K, o.MaxLen, nil
 		})
@@ -189,7 +201,7 @@ func RunE5(o SweepOptions) (*Series, error) {
 		float64(scaleInt(75, o.Scale, 12)),
 		float64(scaleInt(100, o.Scale, 15)),
 	}
-	return runSweep("E5 (Figure 4c): response time vs average trajectory length L", "L", ls, o.Metrics,
+	return runSweep("E5 (Figure 4c): response time vs average trajectory length L", "L", ls, o,
 		func(x float64) (traj.Dataset, *grid.Grid, int, int, error) {
 			ds, err := o.dataset(o.S, int(x))
 			return ds, g, o.K, o.MaxLen, err
@@ -217,7 +229,7 @@ func RunE6(o SweepOptions) (*Series, error) {
 	for _, n := range ns {
 		g := grid.NewSquare(int(n))
 		xs = append(xs, float64(g.NumCells()))
-		tpSec, pbSec, err := timeMiners(ds, g, o.K, o.MaxLen, o.Metrics)
+		tpSec, pbSec, err := timeMiners(ds, g, o.K, o.MaxLen, o)
 		if err != nil {
 			return nil, err
 		}

@@ -161,3 +161,117 @@ func TestNilSafety(t *testing.T) {
 		t.Errorf("empty snapshot renders %q", s.String())
 	}
 }
+
+// TestTimerConcurrentSpans hammers one timer with overlapping spans from
+// many goroutines: the invocation count must be exact and the accumulated
+// total at least the sum of the known sleep floors (spans overlap in wall
+// time but accumulate independently).
+func TestTimerConcurrentSpans(t *testing.T) {
+	r := New()
+	tm := r.Timer("phase")
+	const workers, spans = 8, 25
+	sleep := time.Millisecond
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				// Alternate pre-resolved and registry-resolved handles, and
+				// interleave explicit Observe with Start/stop spans.
+				if i%2 == 0 {
+					stop := tm.Start()
+					time.Sleep(sleep)
+					stop()
+				} else {
+					r.Timer("phase").Observe(sleep)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tm.Count(); got != workers*spans {
+		t.Errorf("timer count = %d, want %d", got, workers*spans)
+	}
+	if min := time.Duration(workers*spans) * sleep; tm.Total() < min {
+		t.Errorf("timer total = %v, want >= %v", tm.Total(), min)
+	}
+	snap := r.Snapshot()
+	ts := snap.Timers["phase"]
+	if ts.Count != workers*spans || time.Duration(ts.TotalNS) != tm.Total() {
+		t.Errorf("snapshot timer %+v disagrees with live timer (%d, %v)",
+			ts, tm.Count(), tm.Total())
+	}
+}
+
+// TestSnapshotTimerDurationsRoundTrip pins that timer durations survive
+// the JSON round trip exactly, at nanosecond precision, across several
+// timers (the counter/gauge round trip is covered above).
+func TestSnapshotTimerDurationsRoundTrip(t *testing.T) {
+	r := New()
+	durations := map[string]time.Duration{
+		"miner.time.total":     12345678901 * time.Nanosecond,
+		"miner.time.iteration": 987654321 * time.Nanosecond,
+		"scorer.time.batch":    1 * time.Nanosecond,
+	}
+	for name, d := range durations {
+		tm := r.Timer(name)
+		tm.Observe(d)
+		tm.Observe(d) // two spans: count 2, total 2d
+	}
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range durations {
+		ts, ok := back.Timers[name]
+		if !ok {
+			t.Fatalf("timer %s lost in round trip", name)
+		}
+		if ts.Count != 2 || ts.TotalNS != 2*int64(d) {
+			t.Errorf("%s round-tripped to %+v, want count 2 total %d", name, ts, 2*int64(d))
+		}
+	}
+	// The rendered form carries the durations too.
+	text := back.String()
+	if !strings.Contains(text, "2 × ") {
+		t.Errorf("rendered snapshot missing timer section:\n%s", text)
+	}
+}
+
+// TestProvenance checks the build/host stamp: the runtime-derived fields
+// are always present, and the stamped report serializes both sections.
+func TestProvenance(t *testing.T) {
+	p := CollectProvenance()
+	if p.GoVersion == "" || p.GOOS == "" || p.GOARCH == "" {
+		t.Errorf("runtime fields missing: %+v", p)
+	}
+	if p.GOMAXPROCS < 1 || p.NumCPU < 1 {
+		t.Errorf("processor counts missing: %+v", p)
+	}
+
+	r := New()
+	r.Counter("miner.seeds").Add(7)
+	rep := NewReport(r.Snapshot())
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Provenance Provenance `json:"provenance"`
+		Metrics    Snapshot   `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Provenance.GoVersion != p.GoVersion {
+		t.Errorf("provenance lost in round trip: %+v", back.Provenance)
+	}
+	if back.Metrics.Counter("miner.seeds") != 7 {
+		t.Errorf("metrics lost in round trip: %+v", back.Metrics)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"trajpattern/internal/predict"
 	"trajpattern/internal/report"
 	"trajpattern/internal/stat"
+	"trajpattern/internal/trace"
 	"trajpattern/internal/traj"
 )
 
@@ -174,6 +175,32 @@ type (
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// Tracing. Attach a tracer via ScorerConfig.Tracer and MinerConfig.Tracer
+// to record structured spans (miner iterations, scorer batches) and typed
+// events (candidates admitted, pruned, readmitted); a nil tracer keeps the
+// hot paths at a single pointer check. Export the records as a JSONL
+// journal (Tracer.Journal) or a Chrome trace-event file loadable in
+// Perfetto (Tracer.WriteChromeTrace).
+type (
+	// Tracer buffers structured spans and events of a mining run.
+	Tracer = trace.Tracer
+	// TraceEvent is one journal record (span or instant event).
+	TraceEvent = trace.Event
+	// TraceAttrs carries the key/value payload of a span or event.
+	TraceAttrs = trace.Attrs
+	// TraceStatus summarizes a tracer's buffered records.
+	TraceStatus = trace.Status
+)
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// Provenance identifies the build and host that produced a run.
+type Provenance = obs.Provenance
+
+// CollectProvenance captures the current build and host identity.
+func CollectProvenance() Provenance { return obs.CollectProvenance() }
 
 // SavePatterns persists scored patterns as JSON.
 func SavePatterns(path string, patterns []ScoredPattern) error {
