@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -201,6 +202,45 @@ func TestRunBenchEndToEnd(t *testing.T) {
 		TolPct:      15,
 	}); err == nil {
 		t.Error("perturbed baseline did not fail the check")
+	}
+}
+
+// TestRunBenchDeterministic is the end-to-end determinism check: two
+// in-process runs of the same experiment at the same seed and scale must
+// produce byte-identical work-counter blocks in bench.json. This is the
+// property the determinism analyzer exists to protect — if it ever fails,
+// some nondeterminism (clock, global RNG, map order) leaked into the gate
+// counters.
+func TestRunBenchDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment twice")
+	}
+	work := func(run int) []byte {
+		var buf bytes.Buffer
+		res, err := RunBench(&buf, BenchOptions{
+			Experiments: []string{"e3"},
+			Scale:       0.15,
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v\n%s", run, err, buf.String())
+		}
+		er := res.Experiments["e3"]
+		if er == nil || len(er.Work) == 0 {
+			t.Fatalf("run %d: no e3 work counters", run)
+		}
+		// encoding/json sorts map keys, so this is the exact byte form of
+		// the "work" block the CI gate reads out of bench.json.
+		b, err := json.Marshal(er.Work)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		return b
+	}
+	first := work(1)
+	second := work(2)
+	if !bytes.Equal(first, second) {
+		t.Errorf("work-counter block differs between identical runs:\nrun 1: %s\nrun 2: %s", first, second)
 	}
 }
 

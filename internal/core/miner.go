@@ -238,7 +238,7 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 	m := newMinerMetrics(cfg.Metrics)
 	defer m.total.Start()()
 
-	start := time.Now()
+	start := time.Now() //trajlint:allow determinism -- feeds Progress.Elapsed, live UI feedback only; never part of the mined result
 	tl := cfg.Tracer.Local()
 	var runSpan *trace.Span
 	if tl != nil {
@@ -433,7 +433,7 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 				AnswerSize: len(newLab.ansKey),
 				K:          cfg.K,
 				Candidates: stats.Candidates,
-				Elapsed:    time.Since(start),
+				Elapsed:    time.Since(start), //trajlint:allow determinism -- Progress.Elapsed is UI feedback, not mined output
 			})
 		}
 	}
@@ -532,6 +532,7 @@ func sameKeySet(a, b map[string]struct{}) bool {
 // key, for fully deterministic iteration.
 func sortEntries(es []*entry) {
 	sort.Slice(es, func(i, j int) bool {
+		//trajlint:allow floatcmp -- comparator tie-break: exact inequality is what makes the order total and deterministic
 		if es[i].nm != es[j].nm {
 			return es[i].nm > es[j].nm
 		}

@@ -77,6 +77,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	//trajlint:allow floatcmp -- zero means "unset" for this config field; exact sentinel test, not a numeric comparison
 	if c.LogFloor == 0 {
 		c.LogFloor = DefaultLogFloor
 	}
@@ -506,6 +507,7 @@ func (s *Scorer) ObservedCells(r int) []int {
 		for c := range set {
 			base = append(base, c)
 		}
+		sort.Ints(base)
 		for _, c := range base {
 			for _, n := range s.cfg.Grid.Neighbors(c, r) {
 				set[n] = struct{}{}

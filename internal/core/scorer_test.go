@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -248,6 +249,32 @@ func TestObservedCells(t *testing.T) {
 	}
 	if got := s.AllCells(); len(got) != 100 || got[99] != 99 {
 		t.Errorf("AllCells = %d cells", len(got))
+	}
+}
+
+// TestObservedCellsDeterministic is the regression test for the trajlint
+// determinism finding in ObservedCells: the base cells were expanded in map
+// iteration order. The output must be identical (and sorted) across calls.
+func TestObservedCellsDeterministic(t *testing.T) {
+	data := traj.Dataset{
+		{traj.P(0.05, 0.05, 0.01), traj.P(0.55, 0.55, 0.01), traj.P(0.95, 0.15, 0.01)},
+		{traj.P(0.25, 0.85, 0.01), traj.P(0.65, 0.35, 0.01)},
+	}
+	s := testScorer(t, data, 10)
+	first := s.ObservedCells(2)
+	if !sort.IntsAreSorted(first) {
+		t.Fatalf("ObservedCells not sorted: %v", first)
+	}
+	for i := 0; i < 10; i++ {
+		got := s.ObservedCells(2)
+		if len(got) != len(first) {
+			t.Fatalf("run %d: %d cells, want %d", i, len(got), len(first))
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("run %d differs at %d: %v vs %v", i, j, got, first)
+			}
+		}
 	}
 }
 

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"time"
 
 	"trajpattern/internal/core"
 	"trajpattern/internal/grid"
@@ -28,12 +27,12 @@ func RunA1(o SweepOptions) (*Table, error) {
 		if err != nil {
 			return core.MinerStats{}, 0, nil, err
 		}
-		start := time.Now()
+		elapsed := stopwatch()
 		res, err := core.Mine(s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K, DisablePrune: disable})
 		if err != nil {
 			return core.MinerStats{}, 0, nil, err
 		}
-		return res.Stats, time.Since(start).Seconds(), res.Patterns, nil
+		return res.Stats, elapsed(), res.Patterns, nil
 	}
 	withStats, withSec, withPats, err := run(false)
 	if err != nil {
@@ -85,7 +84,7 @@ func RunA2(o SweepOptions) (*Table, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		start := time.Now()
+		elapsed := stopwatch()
 		res, err := core.Mine(s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K})
 		if err != nil {
 			return 0, 0, err
@@ -94,7 +93,7 @@ func RunA2(o SweepOptions) (*Table, error) {
 		if len(res.Patterns) > 0 {
 			best = res.Patterns[0].NM
 		}
-		return time.Since(start).Seconds(), best, nil
+		return elapsed(), best, nil
 	}
 	boxSec, boxBest, err := run(core.ProbBox)
 	if err != nil {
@@ -131,11 +130,11 @@ func RunA3(o SweepOptions) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		start := time.Now()
+		elapsed := stopwatch()
 		if _, err := core.Mine(s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K}); err != nil {
 			return 0, err
 		}
-		return time.Since(start).Seconds(), nil
+		return elapsed(), nil
 	}
 	cachedSec, err := run(false)
 	if err != nil {

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"time"
 
 	"trajpattern/internal/core"
 	"trajpattern/internal/grid"
@@ -43,7 +42,7 @@ func RunA4(o SweepOptions) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		elapsed := stopwatch()
 		res, err := core.Mine(s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: v.cap})
 		if err != nil {
 			return nil, err
@@ -54,7 +53,7 @@ func RunA4(o SweepOptions) (*Table, error) {
 		}
 		table.Rows = append(table.Rows, []string{
 			v.name,
-			fmt.Sprintf("%.3f", time.Since(start).Seconds()),
+			fmt.Sprintf("%.3f", elapsed()),
 			fmt.Sprintf("%d", res.Stats.MaxQ),
 			fmt.Sprintf("%d", res.Stats.Candidates),
 			fmt.Sprintf("%.2f", sum),

@@ -1,8 +1,6 @@
 package exp
 
 import (
-	"time"
-
 	"trajpattern/internal/baseline"
 	"trajpattern/internal/core"
 	"trajpattern/internal/datagen"
@@ -95,24 +93,24 @@ func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int, o SweepOptions) (t
 	if err != nil {
 		return 0, 0, err
 	}
-	start := time.Now()
+	elapsed := stopwatch()
 	if _, err := core.Mine(sTP, core.MinerConfig{
 		K: k, MaxLen: maxLen, MaxLowQ: 4 * k,
 		Metrics: o.Metrics, Tracer: o.Tracer, OnProgress: o.Progress,
 	}); err != nil {
 		return 0, 0, err
 	}
-	tpSec = time.Since(start).Seconds()
+	tpSec = elapsed()
 
 	sPB, err := mk(nil, nil)
 	if err != nil {
 		return 0, 0, err
 	}
-	start = time.Now()
+	elapsed = stopwatch()
 	if _, err := baseline.MinePB(sPB, baseline.PBConfig{K: k, MaxLen: maxLen}); err != nil {
 		return 0, 0, err
 	}
-	pbSec = time.Since(start).Seconds()
+	pbSec = elapsed()
 	return tpSec, pbSec, nil
 }
 

@@ -1,0 +1,21 @@
+package exp
+
+import "time"
+
+// Response time is the quantity several of the paper's figures measure
+// (Figure 4's runtime-versus-k, the ablation speedups), so the experiment
+// package does read the wall clock — but only here. The measured seconds
+// are reported in tables and in bench.json's ns field; the CI regression
+// gate compares the deterministic work counters instead, never these
+// values. Keeping both reads in this one helper quarantines the
+// nondeterminism and keeps the determinism analyzer meaningful for the
+// rest of the package.
+
+// stopwatch starts timing one experiment phase and returns a function
+// reporting the seconds elapsed since the start.
+func stopwatch() func() float64 {
+	start := time.Now() //trajlint:allow determinism -- response time is the experiments' measured result, reported but never gated on
+	return func() float64 {
+		return time.Since(start).Seconds() //trajlint:allow determinism -- response time is the experiments' measured result, reported but never gated on
+	}
+}

@@ -1,0 +1,12 @@
+package exp
+
+import "testing"
+
+func TestStopwatch(t *testing.T) {
+	elapsed := stopwatch()
+	a := elapsed()
+	b := elapsed()
+	if a < 0 || b < a {
+		t.Errorf("stopwatch not monotone: first %v, second %v", a, b)
+	}
+}

@@ -84,6 +84,7 @@ func (m *Matrix) Mul(n *Matrix) *Matrix {
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.At(i, k)
+			//trajlint:allow floatcmp -- exact-zero sparsity skip: 0*x contributes exactly nothing, so only literal zeros may be skipped
 			if a == 0 {
 				continue
 			}
@@ -179,6 +180,7 @@ func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
 		inv := 1 / m.At(col, col)
 		for r := col + 1; r < n; r++ {
 			f := m.At(r, col) * inv
+			//trajlint:allow floatcmp -- exact-zero elimination skip: a zero multiplier leaves the row bit-identical
 			if f == 0 {
 				continue
 			}

@@ -15,6 +15,7 @@ var sqrt2 = math.Sqrt(2)
 // returns +Inf at x == mu and 0 elsewhere (the degenerate point mass).
 func NormalPDF(x, mu, sigma float64) float64 {
 	if sigma <= 0 {
+		//trajlint:allow floatcmp -- degenerate point mass: the density is +Inf exactly at mu and 0 everywhere else
 		if x == mu {
 			return math.Inf(1)
 		}

@@ -54,6 +54,7 @@ func (r *RNG) Uniform(lo, hi float64) float64 {
 func (r *RNG) Normal(mu, sigma float64) float64 {
 	// Avoid log(0).
 	u1 := r.Float64()
+	//trajlint:allow floatcmp -- exact-zero rejection guards log(0); any nonzero float is fine
 	for u1 == 0 {
 		u1 = r.Float64()
 	}
@@ -68,6 +69,7 @@ func (r *RNG) Exponential(rate float64) float64 {
 		panic("stat: Exponential with non-positive rate")
 	}
 	u := r.Float64()
+	//trajlint:allow floatcmp -- exact-zero rejection guards log(0); any nonzero float is fine
 	for u == 0 {
 		u = r.Float64()
 	}

@@ -1,0 +1,14 @@
+package closepair_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"trajpattern/tools/analyzers/closepair"
+	"trajpattern/tools/analyzers/internal/checktest"
+)
+
+func TestClosepair(t *testing.T) {
+	checktest.Run(t, closepair.Analyzer,
+		filepath.Join("testdata", "src", "p"), "example.com/p")
+}

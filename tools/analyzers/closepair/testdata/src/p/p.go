@@ -1,0 +1,128 @@
+// Fixture for the closepair analyzer.
+package p
+
+import "os"
+
+// leak never closes f on the success path.
+func leak(path string) error {
+	f, err := os.Open(path) // want `f opened from os.Open is not closed on the path`
+	if err != nil {
+		return err
+	}
+	var buf [8]byte
+	f.Read(buf[:])
+	return nil
+}
+
+// good defers the close right after the error check.
+func good(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// goodClosureDefer closes inside a deferred closure.
+func goodClosureDefer(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { f.Close() }()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// goodReturnClose closes in the return expression and on the read-error
+// path.
+func goodReturnClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	var buf [8]byte
+	if _, err := f.Read(buf[:]); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// leakOnBranch closes on one path but not the early return.
+func leakOnBranch(path string, skip bool) error {
+	f, err := os.Open(path) // want `f opened from os.Open is not closed on the path`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	return f.Close()
+}
+
+// leakAfterReadErr reuses err for a second call: its error path still
+// holds an open file and must close it.
+func leakAfterReadErr(path string) error {
+	f, err := os.Create(path) // want `f opened from os.Create is not closed on the path`
+	if err != nil {
+		return err
+	}
+	_, err = f.Write([]byte("x"))
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// discard throws the handle away.
+func discard(path string) {
+	_, _ = os.Open(path) // want `result of os.Open discarded`
+}
+
+// transfer returns the open file: ownership moves to the caller, not
+// tracked here.
+func transfer(path string) (*os.File, error) {
+	return returnsBoth(os.Open(path))
+}
+
+func returnsBoth(f *os.File, err error) (*os.File, error) { return f, err }
+
+// handedOff passes the file to another function: ownership may transfer,
+// not tracked.
+func handedOff(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+func consume(f *os.File) error { return f.Close() }
+
+// pinned leaks on purpose, with a documented exemption.
+//
+//trajlint:allow closepair -- fixture: fd intentionally held for process lifetime
+func pinned(path string) {
+	f, _ := os.Open(path)
+	f.Seek(0, 0)
+}
+
+// loopClose opens inside a loop and closes at the bottom of each
+// iteration.
+func loopClose(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+// Trajlint is the repo's static-analysis suite: four go/analysis analyzers
+// that enforce the reproduction's project-specific invariants — nil-safe
+// instrumentation handles (nilguard), bit-deterministic work in the gated
+// packages (determinism), tolerance-based float comparison in the numeric
+// packages (floatcmp), and leak-free file/cursor lifecycles (closepair).
+//
+// It is a unitchecker binary, driven by the go command:
+//
+//	go build -o bin/trajlint ./tools/analyzers/cmd/trajlint
+//	go vet -vettool=$(pwd)/bin/trajlint ./...
+//
+// Suppress an individual finding with a documented directive:
+//
+//	//trajlint:allow <analyzer> -- <reason>
+//
+// See README.md ("Static analysis") and each analyzer's package doc.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"trajpattern/tools/analyzers/closepair"
+	"trajpattern/tools/analyzers/determinism"
+	"trajpattern/tools/analyzers/floatcmp"
+	"trajpattern/tools/analyzers/nilguard"
+)
+
+func main() {
+	unitchecker.Main(
+		nilguard.Analyzer,
+		determinism.Analyzer,
+		floatcmp.Analyzer,
+		closepair.Analyzer,
+	)
+}

@@ -1,0 +1,123 @@
+// Fixture for the determinism analyzer: clocks, the global RNG, and
+// order-sensitive map iteration.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall-clock reads ---
+
+func clock() int64 {
+	t := time.Now() // want `time.Now in deterministic package core`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic package core`
+}
+
+// clockAllowed reports wall time with a documented exemption.
+//
+//trajlint:allow determinism -- fixture: elapsed time is reported, never gated on
+func clockAllowed() time.Time {
+	return time.Now()
+}
+
+func clockAllowedInline() time.Time {
+	return time.Now() //trajlint:allow determinism -- fixture: reported only
+}
+
+// --- global math/rand source ---
+
+func roll() int {
+	return rand.Intn(6) // want `global math/rand source \(rand.Intn\) in deterministic package core`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `global math/rand source \(rand.Shuffle\)`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// rollOwned threads an owned, seeded source: good.
+func rollOwned(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// --- map iteration order ---
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iterated in nondeterministic order into Println`
+	}
+}
+
+// printSorted iterates sorted keys: good (the key-collecting range is
+// followed by a sort of the collected slice).
+func printSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `floating-point accumulation into s in map-iteration order`
+	}
+	return s
+}
+
+// count accumulates an int, which commutes exactly: good.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func collectNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `slice out built from map iteration is never sorted in this block`
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectAllowed documents that order is irrelevant.
+//
+//trajlint:allow determinism -- fixture: consumed as a set, order irrelevant
+func collectAllowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectLocalSort hands the collected keys to a repo-local sorting
+// helper, which counts as the intervening sort: good.
+func collectLocalSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+func sortKeys(xs []string) { sort.Strings(xs) }
+
+//trajlint:allow determinism // want `malformed trajlint directive`
+func malformedDirective() {}

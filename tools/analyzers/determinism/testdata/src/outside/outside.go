@@ -1,0 +1,7 @@
+// Fixture proving determinism only applies inside the configured
+// packages: CLI-layer code may read the clock freely.
+package outside
+
+import "time"
+
+func clock() time.Time { return time.Now() }

@@ -1,0 +1,152 @@
+// Package floatcmp forbids == and != on floating-point operands in the
+// numeric packages (internal/core, internal/stat). NM scores are log-space
+// float64s assembled from transcendental functions; exact equality on them
+// is either vacuously false or an accident of one particular evaluation
+// order, and silently breaks when an optimization reassociates the math.
+//
+// Allowed forms:
+//   - both operands are compile-time constants;
+//   - the NaN self-test x != x (and x == x);
+//   - comparisons inside the approved epsilon/helper functions named by
+//     -allowfuncs, where exact comparison is the point;
+//   - sites annotated `//trajlint:allow floatcmp -- reason` (e.g. an exact
+//     sentinel test against an untouched configuration zero value).
+package floatcmp
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"trajpattern/tools/analyzers/internal/directive"
+)
+
+const doc = `check for == and != on floats in the numeric packages
+
+Log-space NM scores must be compared with an explicit tolerance (or not at
+all); raw float equality is only permitted inside the approved helper
+functions and at sites annotated //trajlint:allow floatcmp.`
+
+const name = "floatcmp"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	pkgs       string
+	allowFuncs string
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs",
+		"trajpattern/internal/core,trajpattern/internal/stat",
+		"comma-separated package paths (or /-suffixes) held to the float-discipline contract")
+	Analyzer.Flags.StringVar(&allowFuncs, "allowfuncs", "",
+		"comma-separated function names in which raw float equality is approved")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ix := directive.NewIndex(pass, name)
+	defer ix.FlushBad(pass)
+	if !directive.MatchPkg(pass.Pkg.Path(), pkgs) {
+		return nil, nil
+	}
+	approved := make(map[string]bool)
+	for _, f := range strings.Split(allowFuncs, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			approved[f] = true
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		cmp := n.(*ast.BinaryExpr)
+		if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+			return true
+		}
+		if directive.InTestFile(pass, cmp.Pos()) {
+			return true
+		}
+		if !isFloat(pass, cmp.X) && !isFloat(pass, cmp.Y) {
+			return true
+		}
+		if constExpr(pass, cmp.X) && constExpr(pass, cmp.Y) {
+			return true
+		}
+		if isNaNSelfTest(cmp) {
+			return true
+		}
+		if fn := enclosingFuncName(stack); approved[fn] {
+			return true
+		}
+		ix.Report(pass, analysis.Diagnostic{
+			Pos: cmp.Pos(),
+			Message: fmt.Sprintf(
+				"float %s comparison in %s: use an explicit tolerance (or an approved helper); exact equality on computed floats is evaluation-order-dependent",
+				cmp.Op, pass.Pkg.Name()),
+		})
+		return true
+	})
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func constExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isNaNSelfTest recognizes x != x / x == x for an identical simple operand.
+func isNaNSelfTest(cmp *ast.BinaryExpr) bool {
+	x, ok1 := ast.Unparen(cmp.X).(*ast.Ident)
+	y, ok2 := ast.Unparen(cmp.Y).(*ast.Ident)
+	return ok1 && ok2 && x.Name == y.Name
+}
+
+// enclosingFuncName returns the name of the innermost enclosing function
+// declaration ("Recv.Method" for methods), or "" at package scope.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+			}
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}

@@ -1,0 +1,23 @@
+package floatcmp_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"trajpattern/tools/analyzers/floatcmp"
+	"trajpattern/tools/analyzers/internal/checktest"
+)
+
+func TestFloatcmp(t *testing.T) {
+	if err := floatcmp.Analyzer.Flags.Set("allowfuncs", "approxEqual"); err != nil {
+		t.Fatal(err)
+	}
+	defer floatcmp.Analyzer.Flags.Set("allowfuncs", "")
+	checktest.Run(t, floatcmp.Analyzer,
+		filepath.Join("testdata", "src", "stat"), "trajpattern/internal/stat")
+}
+
+func TestFloatcmpOutsideScope(t *testing.T) {
+	checktest.Run(t, floatcmp.Analyzer,
+		filepath.Join("testdata", "src", "outside"), "trajpattern/internal/exp")
+}

@@ -1,0 +1,4 @@
+// Fixture proving floatcmp only applies in the numeric packages.
+package outside
+
+func eq(a, b float64) bool { return a == b }

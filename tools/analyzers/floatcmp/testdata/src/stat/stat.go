@@ -1,0 +1,52 @@
+// Fixture for the floatcmp analyzer.
+package stat
+
+type score float64
+
+func scoreEq(a, b float64) bool {
+	return a == b // want `float == comparison in stat`
+}
+
+func scoreNeq(a, b float64) bool {
+	return a != b // want `float != comparison in stat`
+}
+
+// Named float types are still floats.
+func namedEq(a, b score) bool {
+	return a == b // want `float == comparison in stat`
+}
+
+// isNaN uses the self-test idiom: good.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// constCmp compares two compile-time constants: good.
+func constCmp() bool {
+	return 1.5 == 3.0/2.0
+}
+
+// intEq compares integers: not this analyzer's business.
+func intEq(a, b int) bool { return a == b }
+
+// approxEqual is the approved helper (see -allowfuncs in the test): exact
+// comparison is the fast path of the tolerance check.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// sentinel documents an exact zero-value test.
+func sentinel(x float64) bool {
+	return x == 0 //trajlint:allow floatcmp -- fixture: untouched config zero value
+}
+
+func sentinelBad(x float64) bool {
+	return x == 0 // want `float == comparison in stat`
+}

@@ -1,0 +1,9 @@
+// Module trajpattern/tools/analyzers holds the trajlint static-analysis
+// suite. It is a separate module so the main trajpattern module stays
+// stdlib-pure; golang.org/x/tools is vendored (from the Go distribution's
+// cmd/vendor tree) so the tools build is hermetic and reproducible.
+module trajpattern/tools/analyzers
+
+go 1.22
+
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,198 @@
+// Package checktest is a minimal stand-in for
+// golang.org/x/tools/go/analysis/analysistest, which is not part of the
+// x/tools subset vendored from the Go distribution. It loads one package of
+// fixture files from a testdata directory, typechecks it against the
+// standard library with the source importer (no compiled export data or
+// network needed), runs an analyzer and its dependency graph, and compares
+// the diagnostics against analysistest-style "// want" expectations:
+//
+//	rand.Intn(7) // want `global math/rand`
+//
+// Each backquoted or double-quoted string after "// want" is a regexp that
+// must match, in order, one diagnostic reported on that line. Lines without
+// a want comment must produce no diagnostics.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture package rooted at dir (relative to the test's
+// working directory), assigns it the import path pkgPath, and checks a's
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("checktest: no fixtures in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("checktest: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("checktest: typecheck %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var runAnalyzer func(a *analysis.Analyzer, report func(analysis.Diagnostic))
+	runAnalyzer = func(a *analysis.Analyzer, report func(analysis.Diagnostic)) {
+		for _, dep := range a.Requires {
+			if _, done := results[dep]; !done {
+				// Dependency diagnostics are not part of the test.
+				runAnalyzer(dep, func(analysis.Diagnostic) {})
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			Report:     report,
+			ReadFile:   os.ReadFile,
+			// No facts cross package boundaries in this harness; analyzers
+			// that query facts (ctrlflow's noReturn) see an empty universe.
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("checktest: %s: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	runAnalyzer(a, func(d analysis.Diagnostic) { diags = append(diags, d) })
+
+	compare(t, fset, files, diags)
+}
+
+// compare matches reported diagnostics against // want comments.
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// "// want" may open the comment or follow other text (as in
+				// a malformed-directive fixture that both triggers and
+				// expects a diagnostic).
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				rest := c.Text[i+len("// want "):]
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pat := range splitPatterns(rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	got := make(map[key][]string)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	for k, res := range wants {
+		msgs := got[k]
+		if len(msgs) != len(res) {
+			t.Errorf("%s:%d: got %d diagnostics %q, want %d", k.file, k.line, len(msgs), msgs, len(res))
+			continue
+		}
+		for i, re := range res {
+			if !re.MatchString(msgs[i]) {
+				t.Errorf("%s:%d: diagnostic %q does not match %q", k.file, k.line, msgs[i], re)
+			}
+		}
+	}
+	for k, msgs := range got {
+		if _, expected := wants[k]; !expected {
+			t.Errorf("%s:%d: unexpected diagnostics %q", k.file, k.line, msgs)
+		}
+	}
+}
+
+// splitPatterns parses the sequence of quoted/backquoted strings after
+// "// want".
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var pat, rest string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				out = append(out, s[1:])
+				return out
+			}
+			pat, rest = s[1:1+end], s[2+end:]
+		case '"':
+			parsed, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				out = append(out, s)
+				return out
+			}
+			pat, _ = strconv.Unquote(parsed)
+			rest = s[len(parsed):]
+		default:
+			panic(fmt.Sprintf("checktest: malformed want list at %q", s))
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(rest)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package directive
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		text   string
+		target string
+		ok     bool
+	}{
+		{"//trajlint:allow determinism -- timing is reported only", "determinism", true},
+		{"//trajlint:allow floatcmp -- sentinel", "floatcmp", true},
+		{"//trajlint:allow determinism", "", true},           // no reason
+		{"//trajlint:allow -- reason but no name", "", true}, // no analyzer
+		{"//trajlint:allowed nothing", "", false},            // not a directive
+		{"// ordinary comment", "", false},
+		{"//trajlint:allow", "", true},
+	}
+	for _, c := range cases {
+		target, ok := parse(c.text)
+		if target != c.target || ok != c.ok {
+			t.Errorf("parse(%q) = (%q, %v), want (%q, %v)", c.text, target, ok, c.target, c.ok)
+		}
+	}
+}
+
+func TestMatchPkg(t *testing.T) {
+	cases := []struct {
+		path, patterns string
+		want           bool
+	}{
+		{"trajpattern/internal/core", "trajpattern/internal/core,trajpattern/internal/stat", true},
+		{"trajpattern/internal/cli", "trajpattern/internal/core,trajpattern/internal/stat", false},
+		{"trajpattern/internal/core", "internal/core", true}, // suffix form
+		{"myinternal/core", "internal/core", false},          // must be a /-separated suffix
+		{"internal/core", "internal/core", true},
+		{"anything", "", false},
+	}
+	for _, c := range cases {
+		if got := MatchPkg(c.path, c.patterns); got != c.want {
+			t.Errorf("MatchPkg(%q, %q) = %v, want %v", c.path, c.patterns, got, c.want)
+		}
+	}
+}

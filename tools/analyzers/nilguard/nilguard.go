@@ -1,0 +1,199 @@
+// Package nilguard enforces the "unset = no-op" contract of the
+// instrumentation handle types in internal/obs and internal/trace: every
+// exported pointer-receiver method must tolerate a nil receiver, because
+// disabled instrumentation hands out nil handles and hot paths call
+// through them unconditionally.
+//
+// Concretely, in the configured packages, an exported method with a
+// pointer receiver must nil-check its receiver
+//
+//	if c == nil {
+//		return ...
+//	}
+//
+// before the first expression that would dereference it (reading a field,
+// or calling a value-receiver method, which dereferences implicitly).
+// Methods that never dereference the receiver — pure delegations such as
+// func (c *Counter) Inc() { c.Add(1) } — are fine as-is: calling a
+// pointer-receiver method on a nil pointer is safe, and the callee is
+// itself subject to this check. Suppress a finding with
+// `//trajlint:allow nilguard -- reason`.
+package nilguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"trajpattern/tools/analyzers/internal/directive"
+)
+
+const doc = `check that exported methods on instrumentation handle types begin with a nil-receiver guard
+
+The obs/trace contract is that a nil handle is a valid "disabled"
+instrument: every exported pointer-receiver method must nil-check the
+receiver before dereferencing it, so instrumented hot paths pay only a
+branch when no registry or tracer is attached.`
+
+const name = "nilguard"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var pkgs string
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs",
+		"trajpattern/internal/obs,trajpattern/internal/trace",
+		"comma-separated package paths (or /-suffixes) whose handle types are checked")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ix := directive.NewIndex(pass, name)
+	defer ix.FlushBad(pass)
+	if !directive.MatchPkg(pass.Pkg.Path(), pkgs) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+			return
+		}
+		if directive.InTestFile(pass, fn.Pos()) {
+			return
+		}
+		recv := receiverVar(pass, fn)
+		if recv == nil {
+			return // value receiver, or receiver named _
+		}
+		if deref := firstUnguardedDeref(pass, fn.Body.List, recv); deref != nil {
+			ix.Report(pass, analysis.Diagnostic{
+				Pos: deref.Pos(),
+				Message: fmt.Sprintf(
+					"exported method %s dereferences receiver %s before a nil guard; handle methods must be no-ops on nil (start with `if %s == nil { return ... }`)",
+					fn.Name.Name, recv.Name(), recv.Name()),
+			})
+		}
+	})
+	return nil, nil
+}
+
+// receiverVar returns the receiver variable if fn has a named pointer
+// receiver, else nil.
+func receiverVar(pass *analysis.Pass, fn *ast.FuncDecl) *types.Var {
+	if len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	name := fn.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+		return nil
+	}
+	return obj
+}
+
+// firstUnguardedDeref scans the top-level statements in order and returns
+// the first expression that dereferences recv before a `recv == nil`
+// guard, or nil if the receiver is guarded first (or never dereferenced).
+func firstUnguardedDeref(pass *analysis.Pass, stmts []ast.Stmt, recv *types.Var) ast.Node {
+	for _, stmt := range stmts {
+		if isNilGuard(pass, stmt, recv) {
+			return nil
+		}
+		if n := derefIn(pass, stmt, recv); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// isNilGuard reports whether stmt is `if recv == nil { ... return ... }`
+// (either operand order) whose body is terminated by a return.
+func isNilGuard(pass *analysis.Pass, stmt ast.Stmt, recv *types.Var) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cmp, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cmp.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if !(isRecv(cmp.X) && isNil(cmp.Y) || isNil(cmp.X) && isRecv(cmp.Y)) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// derefIn returns the first node in stmt that dereferences recv: an
+// explicit *recv, a field selection recv.f, or a call to a value-receiver
+// method (implicit dereference). Calls to pointer-receiver methods do not
+// dereference and are assumed nil-safe by the same contract.
+func derefIn(pass *analysis.Pass, stmt ast.Stmt, recv *types.Var) ast.Node {
+	var found ast.Node
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv {
+				found = e
+				return false
+			}
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(e.X).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != recv {
+				return true
+			}
+			sel := pass.TypesInfo.Selections[e]
+			if sel == nil {
+				return true
+			}
+			switch sel.Kind() {
+			case types.FieldVal:
+				found = e
+				return false
+			case types.MethodVal:
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					sig := fn.Type().(*types.Signature)
+					if r := sig.Recv(); r != nil {
+						if _, ptr := r.Type().Underlying().(*types.Pointer); !ptr {
+							found = e // value-receiver method: implicit deref
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

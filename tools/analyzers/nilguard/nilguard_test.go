@@ -1,0 +1,19 @@
+package nilguard_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"trajpattern/tools/analyzers/internal/checktest"
+	"trajpattern/tools/analyzers/nilguard"
+)
+
+func TestNilguard(t *testing.T) {
+	checktest.Run(t, nilguard.Analyzer,
+		filepath.Join("testdata", "src", "obs"), "trajpattern/internal/obs")
+}
+
+func TestNilguardOutsideScope(t *testing.T) {
+	checktest.Run(t, nilguard.Analyzer,
+		filepath.Join("testdata", "src", "outside"), "example.com/outside")
+}

@@ -1,0 +1,65 @@
+// Fixture for the nilguard analyzer: a miniature of internal/obs.
+package obs
+
+// Counter is a handle type: exported pointer-receiver methods must be
+// nil-safe.
+type Counter struct{ v int64 }
+
+// Add guards first: good.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc never dereferences the receiver (pure delegation): good.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Bump dereferences before any guard: flagged.
+func (c *Counter) Bump() {
+	c.v++ // want `exported method Bump dereferences receiver c before a nil guard`
+}
+
+// Value guards after a receiver-free statement: good.
+func (c *Counter) Value() int64 {
+	var zero int64
+	if c == nil {
+		return zero
+	}
+	return c.v
+}
+
+// Late guards the receiver only after dereferencing it: flagged at the
+// first deref.
+func (c *Counter) Late() int64 {
+	v := c.v // want `exported method Late dereferences receiver c before a nil guard`
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// reset is unexported: not checked.
+func (c *Counter) reset() { c.v = 0 }
+
+// Zero is suppressed by a documented directive.
+//
+//trajlint:allow nilguard -- fixture: documented single-site exemption
+func (c *Counter) Zero() {
+	c.v = 0
+}
+
+// Stat is a value type; value receivers cannot be nil and are not checked.
+type Stat struct{ n int64 }
+
+// Total reads fields on a value receiver: good.
+func (s Stat) Total() int64 { return s.n }
+
+// Swapped accepts the reversed guard operand order: good.
+func (c *Counter) Swapped() int64 {
+	if nil == c {
+		return 0
+	}
+	return c.v
+}

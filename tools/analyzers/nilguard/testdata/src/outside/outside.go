@@ -1,0 +1,8 @@
+// Fixture proving nilguard only applies inside the configured packages:
+// the same unguarded method that is flagged in the obs fixture is allowed
+// here.
+package outside
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Bump() { c.v++ }
