@@ -7,6 +7,7 @@
 package trajpattern_test
 
 import (
+	"context"
 	"testing"
 
 	"trajpattern/internal/exp"
@@ -27,7 +28,7 @@ func benchSweep() exp.SweepOptions {
 // Paper: 4.2 vs 3.18.
 func BenchmarkE1AvgPatternLength(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunE1(exp.E1Options{Bus: benchBus(), K: 60, MinLen: 3, MaxLen: 8})
+		res, err := exp.RunE1(context.Background(), exp.E1Options{Bus: benchBus(), K: 60, MinLen: 3, MaxLen: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,7 +42,7 @@ func BenchmarkE1AvgPatternLength(b *testing.B) {
 // 10–20% (match).
 func BenchmarkE2Fig3Prediction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunE2(exp.E2Options{Bus: benchBus(), K: 30, MinLen: 4, MaxLen: 8})
+		res, err := exp.RunE2(context.Background(), exp.E2Options{Bus: benchBus(), K: 30, MinLen: 4, MaxLen: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func seriesMetric(b *testing.B, s *exp.Series) {
 // TrajPattern and PB.
 func BenchmarkE3Fig4aVaryK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := exp.RunE3(benchSweep())
+		s, err := exp.RunE3(context.Background(), benchSweep())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func BenchmarkE4Fig4bVaryS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchSweep()
 		o.Scale = 0.5
-		s, err := exp.RunE4(o)
+		s, err := exp.RunE4(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkE5Fig4cVaryL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchSweep()
 		o.Scale = 0.5
-		s, err := exp.RunE5(o)
+		s, err := exp.RunE5(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func BenchmarkE5Fig4cVaryL(b *testing.B) {
 // grid cells G.
 func BenchmarkE6Fig4dVaryG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := exp.RunE6(benchSweep())
+		s, err := exp.RunE6(context.Background(), benchSweep())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func BenchmarkE7Fig4eVaryDelta(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// E7 calibrates its own grid/uncertainty (γ = 3σ̄ must span at
 		// least one cell); only the seed is passed through.
-		s, err := exp.RunE7(exp.E7Options{Sweep: exp.SweepOptions{Seed: benchSeed, K: 20}})
+		s, err := exp.RunE7(context.Background(), exp.E7Options{Sweep: exp.SweepOptions{Seed: benchSeed, K: 20}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +145,7 @@ func BenchmarkE7Fig4eVaryDelta(b *testing.B) {
 // BenchmarkA1PruningAblation measures the 1-extension pruning effect.
 func BenchmarkA1PruningAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunA1(benchSweep()); err != nil {
+		if _, err := exp.RunA1(context.Background(), benchSweep()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -153,7 +154,7 @@ func BenchmarkA1PruningAblation(b *testing.B) {
 // BenchmarkA2ProbModes measures box vs disk probability computation.
 func BenchmarkA2ProbModes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunA2(benchSweep()); err != nil {
+		if _, err := exp.RunA2(context.Background(), benchSweep()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,7 +163,7 @@ func BenchmarkA2ProbModes(b *testing.B) {
 // BenchmarkA3CacheAblation measures the per-cell log-prob cache effect.
 func BenchmarkA3CacheAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunA3(benchSweep()); err != nil {
+		if _, err := exp.RunA3(context.Background(), benchSweep()); err != nil {
 			b.Fatal(err)
 		}
 	}

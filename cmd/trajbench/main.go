@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -80,7 +81,12 @@ func main() {
 		printer = cli.NewProgressPrinter(os.Stderr, 0)
 	}
 
-	_, err = cli.RunBench(os.Stdout, cli.BenchOptions{
+	// First SIGINT/SIGTERM stops between experiments and still flushes
+	// completed results and the trace journal; a second aborts.
+	ctx, stopSignals := cli.SignalContext(context.Background(), os.Stderr, "trajbench")
+	defer stopSignals()
+
+	_, err = cli.RunBench(ctx, os.Stdout, cli.BenchOptions{
 		Experiments: strings.Split(*which, ","),
 		Scale:       *scale,
 		Seed:        *seed,
@@ -93,6 +99,7 @@ func main() {
 		Progress:    printer.Update,
 		Holder:      holder,
 	})
+	stopSignals()
 	printer.Done()
 	if terr := cli.SaveTrace(*trcPath, tracer); terr != nil {
 		fmt.Fprintf(os.Stderr, "trajbench: %v\n", terr)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,11 +41,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// A SIGINT/SIGTERM before the (atomic) write leaves any existing output
+	// file untouched; a partial dataset is never written.
+	ctx, stopSignals := cli.SignalContext(context.Background(), os.Stderr, "trajgen")
+	defer stopSignals()
 	ds, err := cli.Generate(cli.GenOptions{
 		Kind: *kind, N: *n, Len: *ln, U: *u, C: *c, Scale: *scale, Seed: *seed,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "trajgen: %v\n", err)
+		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "trajgen: interrupted (%v); not writing %s\n", context.Cause(ctx), *out)
 		os.Exit(1)
 	}
 	if err := traj.WriteFile(*out, ds); err != nil {

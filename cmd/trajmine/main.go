@@ -10,9 +10,12 @@
 //	trajmine -in zebra.jsonl -metrics -cpuprofile cpu.pprof
 //	trajmine -in zebra.jsonl -trace run.trace -progress
 //	trajmine -in zebra.jsonl -debug-addr localhost:6060
+//	trajmine -in zebra.jsonl -checkpoint run.ckpt -maxwall 30s
+//	trajmine -in zebra.jsonl -checkpoint run.ckpt -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +45,11 @@ func main() {
 		dbgAddr = flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /trace/status on this address")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file")
+		maxIter = flag.Int("maxiters", 0, "bound the miner's grow iterations (0 = default; nm only)")
+		maxWall = flag.Duration("maxwall", 0, "wall-clock budget; report best-so-far when it elapses (nm only)")
+		ckpt    = flag.String("checkpoint", "", "write crash-safe miner checkpoints to this file (nm only)")
+		ckEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in iterations")
+		resume  = flag.Bool("resume", false, "restore miner state from -checkpoint before mining")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -84,22 +92,33 @@ func main() {
 		printer = cli.NewProgressPrinter(os.Stderr, 0)
 	}
 
-	_, err = cli.Mine(os.Stdout, ds, cli.MineOptions{
-		K:          *k,
-		GridN:      *gridN,
-		MinLen:     *minLen,
-		MaxLen:     *maxLen,
-		DeltaMul:   *deltaMu,
-		Measure:    *measure,
-		Groups:     *groups,
-		Viz:        *viz,
-		SavePath:   *save,
-		Metrics:    *metrics,
-		MetricsOut: *metOut,
-		Registry:   reg,
-		Tracer:     tracer,
-		OnProgress: printer.Update,
+	// First SIGINT/SIGTERM drains the run gracefully (best-so-far report,
+	// partial saves, trace journal); a second aborts.
+	ctx, stopSignals := cli.SignalContext(context.Background(), os.Stderr, "trajmine")
+	defer stopSignals()
+
+	_, err = cli.Mine(ctx, os.Stdout, ds, cli.MineOptions{
+		K:               *k,
+		GridN:           *gridN,
+		MinLen:          *minLen,
+		MaxLen:          *maxLen,
+		DeltaMul:        *deltaMu,
+		Measure:         *measure,
+		Groups:          *groups,
+		Viz:             *viz,
+		SavePath:        *save,
+		Metrics:         *metrics,
+		MetricsOut:      *metOut,
+		Registry:        reg,
+		Tracer:          tracer,
+		OnProgress:      printer.Update,
+		MaxIters:        *maxIter,
+		MaxWallTime:     *maxWall,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckEvery,
+		Resume:          *resume,
 	})
+	stopSignals()
 	printer.Done()
 	if terr := cli.SaveTrace(*trcPath, tracer); terr != nil {
 		fmt.Fprintf(os.Stderr, "trajmine: %v\n", terr)

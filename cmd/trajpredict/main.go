@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"trajpattern/internal/cli"
 	"trajpattern/internal/exp"
 )
 
@@ -27,7 +29,11 @@ func main() {
 	)
 	flag.Parse()
 
-	res, err := exp.RunE2(exp.E2Options{
+	// First SIGINT/SIGTERM cancels the experiment; a second aborts.
+	ctx, stopSignals := cli.SignalContext(context.Background(), os.Stderr, "trajpredict")
+	defer stopSignals()
+
+	res, err := exp.RunE2(ctx, exp.E2Options{
 		Bus:    exp.BusOptions{Scale: *scale, Seed: *seed},
 		K:      *k,
 		MinLen: *minLen,

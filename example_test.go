@@ -1,6 +1,7 @@
 package trajpattern_test
 
 import (
+	"context"
 	"fmt"
 
 	"trajpattern"
@@ -31,7 +32,7 @@ func ExampleMine() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := trajpattern.Mine(scorer, trajpattern.MinerConfig{
+	res, err := trajpattern.Mine(context.Background(), scorer, trajpattern.MinerConfig{
 		K: 1, MinLen: 2, MaxLen: 4, MaxLowQ: 8,
 	})
 	if err != nil {
@@ -107,7 +108,7 @@ func ExampleTrainClassifier() {
 		"east":  mk([]int{0, 1, 2, 3}),
 		"north": mk([]int{0, 5, 10, 15}),
 	}
-	c, err := trajpattern.TrainClassifier(classes, trajpattern.ClassifierConfig{
+	c, err := trajpattern.TrainClassifier(context.Background(), classes, trajpattern.ClassifierConfig{
 		Scorer: trajpattern.ScorerConfig{Grid: g, Delta: g.CellWidth()},
 		K:      4, MinLen: 2, MaxLen: 4,
 	})

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := trajpattern.Mine(scorer, trajpattern.MinerConfig{
+	res, err := trajpattern.Mine(context.Background(), scorer, trajpattern.MinerConfig{
 		K: 40, MinLen: 3, MaxLen: 5, MaxLowQ: 160,
 	})
 	if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,7 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := trajpattern.Mine(scorer, trajpattern.MinerConfig{
+	res, err := trajpattern.Mine(context.Background(), scorer, trajpattern.MinerConfig{
 		K: 12, MinLen: 3, MaxLen: 8, MaxLowQ: 48,
 	})
 	if err != nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := trajpattern.Mine(scorer, trajpattern.MinerConfig{
+	res, err := trajpattern.Mine(context.Background(), scorer, trajpattern.MinerConfig{
 		K: 8, MinLen: 3, MaxLen: 6, MaxLowQ: 32,
 	})
 	if err != nil {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 	const k, minLen, maxLen = 10, 2, 6
 
 	// Top-k by normalized match (the paper's TrajPattern algorithm).
-	nmRes, err := trajpattern.Mine(mkScorer(), trajpattern.MinerConfig{
+	nmRes, err := trajpattern.Mine(context.Background(), mkScorer(), trajpattern.MinerConfig{
 		K: k, MinLen: minLen, MaxLen: maxLen, MaxLowQ: 4 * k,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestPBAgreesWithTrajPattern(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tp, err := core.Mine(sTP, core.MinerConfig{K: k, MaxLen: maxLen, Seeds: sTP.AllCells()})
+	tp, err := core.Mine(context.Background(), sTP, core.MinerConfig{K: k, MaxLen: maxLen, Seeds: sTP.AllCells()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestMatchVsNMPatternLengths(t *testing.T) {
 	sNM := newScorer(t, data, 3)
 	sM := newScorer(t, data, 3)
 	k, minLen, maxLen := 10, 2, 6
-	nmRes, err := core.Mine(sNM, core.MinerConfig{K: k, MinLen: minLen, MaxLen: maxLen})
+	nmRes, err := core.Mine(context.Background(), sNM, core.MinerConfig{K: k, MinLen: minLen, MaxLen: maxLen})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -109,7 +110,7 @@ func TestQuickTrajPatternVsOracle(t *testing.T) {
 			return false
 		}
 		seeds := s.AllCells()
-		res, err := core.Mine(s, core.MinerConfig{K: 5, MaxLen: 3, Seeds: seeds})
+		res, err := core.Mine(context.Background(), s, core.MinerConfig{K: 5, MaxLen: 3, Seeds: seeds})
 		if err != nil {
 			return false
 		}

@@ -7,6 +7,7 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -50,7 +51,7 @@ type Classifier struct {
 // Train mines a pattern set for every class dataset. Class names are
 // sorted so results are deterministic. Every class needs a non-empty
 // dataset.
-func Train(classes map[string]traj.Dataset, cfg Config) (*Classifier, error) {
+func Train(ctx context.Context, classes map[string]traj.Dataset, cfg Config) (*Classifier, error) {
 	if len(classes) < 2 {
 		return nil, fmt.Errorf("classify: need at least two classes, got %d", len(classes))
 	}
@@ -71,7 +72,7 @@ func Train(classes map[string]traj.Dataset, cfg Config) (*Classifier, error) {
 		if err != nil {
 			return nil, fmt.Errorf("classify: class %q: %w", name, err)
 		}
-		res, err := core.Mine(s, core.MinerConfig{
+		res, err := core.Mine(ctx, s, core.MinerConfig{
 			K:       cfg.K,
 			MinLen:  cfg.MinLen,
 			MaxLen:  cfg.MaxLen,

@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"context"
 	"testing"
 
 	"trajpattern/internal/core"
@@ -50,18 +51,18 @@ func cfg(g *grid.Grid) Config {
 
 func TestTrainValidation(t *testing.T) {
 	g, train, _ := twoClassFixture(t)
-	if _, err := Train(map[string]traj.Dataset{"only": train["rowers"]}, cfg(g)); err == nil {
+	if _, err := Train(context.Background(), map[string]traj.Dataset{"only": train["rowers"]}, cfg(g)); err == nil {
 		t.Error("single class accepted")
 	}
 	bad := map[string]traj.Dataset{"a": train["rowers"], "b": nil}
-	if _, err := Train(bad, cfg(g)); err == nil {
+	if _, err := Train(context.Background(), bad, cfg(g)); err == nil {
 		t.Error("empty class accepted")
 	}
 }
 
 func TestClassifySeparatesClasses(t *testing.T) {
 	g, train, test := twoClassFixture(t)
-	c, err := Train(train, cfg(g))
+	c, err := Train(context.Background(), train, cfg(g))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestClassifySeparatesClasses(t *testing.T) {
 
 func TestClassifyScores(t *testing.T) {
 	g, train, test := twoClassFixture(t)
-	c, err := Train(train, cfg(g))
+	c, err := Train(context.Background(), train, cfg(g))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestClassifyScores(t *testing.T) {
 
 func TestPatternsAccessor(t *testing.T) {
 	g, train, _ := twoClassFixture(t)
-	c, err := Train(train, cfg(g))
+	c, err := Train(context.Background(), train, cfg(g))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestPatternsAccessor(t *testing.T) {
 
 func TestEvaluateEmpty(t *testing.T) {
 	g, train, _ := twoClassFixture(t)
-	c, err := Train(train, cfg(g))
+	c, err := Train(context.Background(), train, cfg(g))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 
 	"trajpattern/internal/core"
 	"trajpattern/internal/exp"
+	"trajpattern/internal/faultio"
 	"trajpattern/internal/obs"
 	"trajpattern/internal/trace"
 )
@@ -124,7 +126,12 @@ next:
 // obs snapshots, writes bench.json, and compares against a baseline,
 // returning a non-nil error if any experiment or the regression check
 // failed — the error the trajbench command turns into a non-zero exit.
-func RunBench(w io.Writer, o BenchOptions) (*BenchResult, error) {
+//
+// Cancelling ctx stops the run at the next experiment boundary; an
+// experiment cut short mid-run is discarded (its timings would be
+// bogus), completed experiments are still written to bench.json, and the
+// returned error names the interruption.
+func RunBench(ctx context.Context, w io.Writer, o BenchOptions) (*BenchResult, error) {
 	if o.Scale == 0 {
 		o.Scale = 1
 	}
@@ -154,13 +161,26 @@ func RunBench(w io.Writer, o BenchOptions) (*BenchResult, error) {
 			Metrics: reg, Tracer: o.Tracer, Progress: o.Progress,
 		}
 
+		if err := ctx.Err(); err != nil {
+			failures = append(failures, fmt.Sprintf("interrupted before %s (%v)", id, context.Cause(ctx)))
+			break
+		}
+
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		out, err := runExperiment(id, bus, sweep)
+		out, err := runExperiment(ctx, id, bus, sweep)
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 
+		if ctx.Err() != nil {
+			// The experiment ran against a cancelled context: its miner
+			// runs degraded to partial answers and its timings measure an
+			// aborted workload, so the entry is dropped rather than
+			// recorded as a bogus data point.
+			failures = append(failures, fmt.Sprintf("%s: interrupted (%v)", id, context.Cause(ctx)))
+			break
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trajbench: %s: %v\n", id, err)
 			failures = append(failures, fmt.Sprintf("%s: %v", id, err))
@@ -248,54 +268,54 @@ func selectExperiments(ids []string) (map[string]bool, error) {
 }
 
 // runExperiment dispatches one experiment id.
-func runExperiment(id string, bus exp.BusOptions, sweep exp.SweepOptions) (fmt.Stringer, error) {
+func runExperiment(ctx context.Context, id string, bus exp.BusOptions, sweep exp.SweepOptions) (fmt.Stringer, error) {
 	switch id {
 	case "e1":
-		r, err := exp.RunE1(exp.E1Options{Bus: bus})
+		r, err := exp.RunE1(ctx, exp.E1Options{Bus: bus})
 		if err != nil {
 			return nil, err
 		}
 		return r.Table, nil
 	case "e2":
-		r, err := exp.RunE2(exp.E2Options{Bus: bus})
+		r, err := exp.RunE2(ctx, exp.E2Options{Bus: bus})
 		if err != nil {
 			return nil, err
 		}
 		return r.Table, nil
 	case "e3":
-		return derefSeries(exp.RunE3(sweep))
+		return derefSeries(exp.RunE3(ctx, sweep))
 	case "e4":
-		return derefSeries(exp.RunE4(sweep))
+		return derefSeries(exp.RunE4(ctx, sweep))
 	case "e5":
-		return derefSeries(exp.RunE5(sweep))
+		return derefSeries(exp.RunE5(ctx, sweep))
 	case "e6":
-		return derefSeries(exp.RunE6(sweep))
+		return derefSeries(exp.RunE6(ctx, sweep))
 	case "e7":
-		return derefSeries(exp.RunE7(exp.E7Options{Sweep: sweep}))
+		return derefSeries(exp.RunE7(ctx, exp.E7Options{Sweep: sweep}))
 	case "e8":
-		r, err := exp.RunE8(exp.E8Options{Seed: sweep.Seed})
+		r, err := exp.RunE8(ctx, exp.E8Options{Seed: sweep.Seed})
 		if err != nil {
 			return nil, err
 		}
 		return r.Table, nil
 	case "e9":
-		r, err := exp.RunE9(exp.E9Options{Bus: bus})
+		r, err := exp.RunE9(ctx, exp.E9Options{Bus: bus})
 		if err != nil {
 			return nil, err
 		}
 		return r.Table, nil
 	case "a1":
-		return derefTable(exp.RunA1(sweep))
+		return derefTable(exp.RunA1(ctx, sweep))
 	case "a2":
-		return derefTable(exp.RunA2(sweep))
+		return derefTable(exp.RunA2(ctx, sweep))
 	case "a3":
-		return derefTable(exp.RunA3(sweep))
+		return derefTable(exp.RunA3(ctx, sweep))
 	case "a4":
-		return derefTable(exp.RunA4(sweep))
+		return derefTable(exp.RunA4(ctx, sweep))
 	case "a5":
-		return derefTable(exp.RunA5(sweep))
+		return derefTable(exp.RunA5(ctx, sweep))
 	case "a6":
-		return derefTable(exp.RunA6(sweep))
+		return derefTable(exp.RunA6(ctx, sweep))
 	default:
 		return nil, fmt.Errorf("cli: unknown experiment %q", id)
 	}
@@ -315,13 +335,17 @@ func derefTable(t *exp.Table, err error) (fmt.Stringer, error) {
 	return *t, nil
 }
 
-// writeBenchJSON writes r as indented JSON.
+// writeBenchJSON writes r as indented JSON, atomically (temp file +
+// fsync + rename) so an interrupted run never leaves a torn bench.json.
 func writeBenchJSON(path string, r *BenchResult) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return fmt.Errorf("cli: marshal bench result: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := faultio.WriteFileAtomic(nil, path, func(w io.Writer) error {
+		_, werr := w.Write(append(data, '\n'))
+		return werr
+	}); err != nil {
 		return fmt.Errorf("cli: write bench result: %w", err)
 	}
 	return nil

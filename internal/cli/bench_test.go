@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -120,7 +121,7 @@ func TestSelectExperiments(t *testing.T) {
 
 func TestRunBenchUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := RunBench(&buf, BenchOptions{Experiments: []string{"nope"}}); err == nil {
+	if _, err := RunBench(context.Background(), &buf, BenchOptions{Experiments: []string{"nope"}}); err == nil {
 		t.Error("unknown experiment did not fail the run")
 	}
 }
@@ -137,7 +138,7 @@ func TestRunBenchEndToEnd(t *testing.T) {
 	jsonPath := filepath.Join(dir, "bench.json")
 
 	var buf bytes.Buffer
-	res, err := RunBench(&buf, BenchOptions{
+	res, err := RunBench(context.Background(), &buf, BenchOptions{
 		Experiments: []string{"e3"},
 		Scale:       0.15,
 		Seed:        1,
@@ -173,7 +174,7 @@ func TestRunBenchEndToEnd(t *testing.T) {
 
 	// Self-check passes.
 	buf.Reset()
-	if _, err := RunBench(&buf, BenchOptions{
+	if _, err := RunBench(context.Background(), &buf, BenchOptions{
 		Experiments: []string{"e3"},
 		Scale:       0.15,
 		Seed:        1,
@@ -194,7 +195,7 @@ func TestRunBenchEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf.Reset()
-	if _, err := RunBench(&buf, BenchOptions{
+	if _, err := RunBench(context.Background(), &buf, BenchOptions{
 		Experiments: []string{"e3"},
 		Scale:       0.15,
 		Seed:        1,
@@ -217,7 +218,7 @@ func TestRunBenchDeterministic(t *testing.T) {
 	}
 	work := func(run int) []byte {
 		var buf bytes.Buffer
-		res, err := RunBench(&buf, BenchOptions{
+		res, err := RunBench(context.Background(), &buf, BenchOptions{
 			Experiments: []string{"e3"},
 			Scale:       0.15,
 			Seed:        1,

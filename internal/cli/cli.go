@@ -5,14 +5,18 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"trajpattern/internal/baseline"
 	"trajpattern/internal/core"
 	"trajpattern/internal/datagen"
 	"trajpattern/internal/exp"
+	"trajpattern/internal/faultio"
 	"trajpattern/internal/geom"
 	"trajpattern/internal/grid"
 	"trajpattern/internal/obs"
@@ -84,6 +88,22 @@ type MineOptions struct {
 	// OnProgress, when non-nil, receives the miner's per-iteration state
 	// (install a ProgressPrinter's Update for -progress). NM measure only.
 	OnProgress func(core.Progress)
+
+	// MaxIters bounds the miner's grow iterations (0 = miner default).
+	// NM measure only.
+	MaxIters int
+	// MaxWallTime bounds the run's wall-clock duration; the miner then
+	// reports its best-so-far top-k as an interrupted result. NM only.
+	MaxWallTime time.Duration
+	// CheckpointPath, when non-empty, makes the miner write crash-safe
+	// checkpoints there (see core.MinerConfig.CheckpointPath). NM only.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in iterations (0 = 1).
+	CheckpointEvery int
+	// Resume restores miner state from CheckpointPath before mining. A
+	// missing checkpoint file starts a fresh run (so a crash-looped
+	// service can always pass -resume).
+	Resume bool
 }
 
 // FitGrid builds a square grid covering the dataset bounds with a 3σ̄
@@ -107,7 +127,11 @@ func FitGrid(ds traj.Dataset, n int) *grid.Grid {
 
 // Mine runs the requested miner over the dataset and writes a human
 // readable report to w. It returns the mined patterns for further use.
-func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
+//
+// Cancelling ctx interrupts an NM run gracefully: the report is written
+// for the best-so-far top-k (flagged as interrupted) and partial results
+// are still saved. The pb/match baselines do not support interruption.
+func Mine(ctx context.Context, w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("cli: empty dataset")
 	}
@@ -125,16 +149,42 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 	fmt.Fprintf(w, "dataset: %d trajectories, avg length %.1f, grid %d×%d over %v\n",
 		ds.NumTrajectories(), ds.AvgLength(), g.NX(), g.NY(), g.Bounds())
 
+	if o.Measure != "nm" && (o.CheckpointPath != "" || o.Resume || o.MaxWallTime != 0) {
+		return nil, fmt.Errorf("cli: checkpoint/resume/deadline options support the nm measure only, not %q", o.Measure)
+	}
+
 	var patterns []core.Pattern
 	var scored []core.ScoredPattern
 	switch o.Measure {
 	case "nm":
-		res, err := core.Mine(s, core.MinerConfig{
+		mcfg := core.MinerConfig{
 			K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K,
+			MaxIters: o.MaxIters, MaxWallTime: o.MaxWallTime,
+			CheckpointPath: o.CheckpointPath, CheckpointEvery: o.CheckpointEvery,
 			Metrics: reg, Tracer: o.Tracer, OnProgress: o.OnProgress,
-		})
+		}
+		if o.Resume {
+			if o.CheckpointPath == "" {
+				return nil, fmt.Errorf("cli: resume requires a checkpoint path")
+			}
+			ck, err := core.LoadCheckpoint(o.CheckpointPath)
+			switch {
+			case errors.Is(err, os.ErrNotExist):
+				fmt.Fprintf(w, "no checkpoint at %s; starting fresh\n", o.CheckpointPath)
+			case err != nil:
+				return nil, err
+			default:
+				fmt.Fprintf(w, "resuming from %s (iteration %d, |Q| %d)\n",
+					o.CheckpointPath, ck.Iteration, len(ck.Q))
+				mcfg.Resume = ck
+			}
+		}
+		res, err := core.Mine(ctx, s, mcfg)
 		if err != nil {
 			return nil, err
+		}
+		if res.Interrupted {
+			fmt.Fprintf(w, "interrupted (%s): reporting best-so-far results\n", res.InterruptReason)
 		}
 		fmt.Fprintf(w, "TrajPattern: %d iterations, %d candidates, max |Q| %d, pruned %d\n",
 			res.Stats.Iterations, res.Stats.Candidates, res.Stats.MaxQ, res.Stats.Pruned)
@@ -216,13 +266,17 @@ func Mine(w io.Writer, ds traj.Dataset, o MineOptions) ([]core.Pattern, error) {
 }
 
 // WriteMetricsReport writes a provenance-stamped obs report (commit, Go
-// version, host shape, plus the full snapshot) as JSON to path.
+// version, host shape, plus the full snapshot) as JSON to path,
+// atomically (temp file + fsync + rename).
 func WriteMetricsReport(path string, s obs.Snapshot) error {
 	data, err := obs.NewReport(s).JSON()
 	if err != nil {
 		return fmt.Errorf("cli: marshal metrics report: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := faultio.WriteFileAtomic(nil, path, func(w io.Writer) error {
+		_, werr := w.Write(append(data, '\n'))
+		return werr
+	}); err != nil {
 		return fmt.Errorf("cli: write metrics report: %w", err)
 	}
 	return nil

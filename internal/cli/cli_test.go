@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestMineAllMeasures(t *testing.T) {
 	}
 	for _, measure := range []string{"nm", "pb", "match"} {
 		var buf bytes.Buffer
-		pats, err := Mine(&buf, ds, MineOptions{
+		pats, err := Mine(context.Background(), &buf, ds, MineOptions{
 			K: 4, GridN: 8, MinLen: 1, MaxLen: 3, DeltaMul: 1,
 			Measure: measure, Groups: true,
 		})
@@ -98,7 +99,7 @@ func TestMineViz(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if _, err := Mine(&buf, ds, MineOptions{
+	if _, err := Mine(context.Background(), &buf, ds, MineOptions{
 		K: 3, GridN: 8, MinLen: 1, MaxLen: 3, DeltaMul: 1,
 		Measure: "nm", Viz: true,
 	}); err != nil {
@@ -116,13 +117,13 @@ func TestMineErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if _, err := Mine(&buf, nil, MineOptions{K: 1, GridN: 4, MaxLen: 2, DeltaMul: 1, Measure: "nm"}); err == nil {
+	if _, err := Mine(context.Background(), &buf, nil, MineOptions{K: 1, GridN: 4, MaxLen: 2, DeltaMul: 1, Measure: "nm"}); err == nil {
 		t.Error("empty dataset accepted")
 	}
-	if _, err := Mine(&buf, ds, MineOptions{K: 1, GridN: 4, MaxLen: 2, DeltaMul: 1, Measure: "bogus"}); err == nil {
+	if _, err := Mine(context.Background(), &buf, ds, MineOptions{K: 1, GridN: 4, MaxLen: 2, DeltaMul: 1, Measure: "bogus"}); err == nil {
 		t.Error("bogus measure accepted")
 	}
-	if _, err := Mine(&buf, ds, MineOptions{K: 0, GridN: 4, MaxLen: 2, DeltaMul: 1, Measure: "nm"}); err == nil {
+	if _, err := Mine(context.Background(), &buf, ds, MineOptions{K: 0, GridN: 4, MaxLen: 2, DeltaMul: 1, Measure: "nm"}); err == nil {
 		t.Error("K=0 accepted")
 	}
 }
@@ -134,7 +135,7 @@ func TestMineSavePatterns(t *testing.T) {
 	}
 	path := t.TempDir() + "/pats.json"
 	var buf bytes.Buffer
-	if _, err := Mine(&buf, ds, MineOptions{
+	if _, err := Mine(context.Background(), &buf, ds, MineOptions{
 		K: 3, GridN: 8, MinLen: 1, MaxLen: 3, DeltaMul: 1,
 		Measure: "nm", SavePath: path,
 	}); err != nil {

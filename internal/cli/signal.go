@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// exitFn is swapped by tests so the second-signal abort path can be
+// exercised without killing the test process.
+var exitFn = os.Exit
+
+// SignalContext returns a child of parent implementing the CLIs'
+// two-stage shutdown on SIGINT/SIGTERM. The first signal cancels the
+// returned context — long-running stages (Mine, RunBench, StreamNM)
+// then drain gracefully and their callers flush partial results and
+// trace journals. A second signal aborts the process immediately with
+// the conventional exit code 130.
+//
+// w receives the operator-facing notices (pass os.Stderr); name labels
+// them. The returned stop function releases the signal handler and must
+// be deferred so a finished command stops intercepting ^C.
+func SignalContext(parent context.Context, w io.Writer, name string) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(w, "%s: %v — draining and flushing partial results (signal again to abort)\n", name, sig)
+			cancel(fmt.Errorf("%v received", sig))
+		case <-done:
+			return
+		}
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(w, "%s: %v — aborting\n", name, sig)
+			exitFn(130)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel(nil)
+		})
+	}
+	return ctx, stop
+}

@@ -3,6 +3,7 @@ package cli
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -43,7 +44,7 @@ func mineTraced(t *testing.T, extra func(*MineOptions)) *trace.Tracer {
 		extra(&o)
 	}
 	var buf bytes.Buffer
-	if _, err := Mine(&buf, ds, o); err != nil {
+	if _, err := Mine(context.Background(), &buf, ds, o); err != nil {
 		t.Fatal(err)
 	}
 	return tr
@@ -337,7 +338,7 @@ func TestRunBenchTraced(t *testing.T) {
 	tr := trace.New()
 	holder := &MetricsHolder{}
 	var buf bytes.Buffer
-	res, err := RunBench(&buf, BenchOptions{
+	res, err := RunBench(context.Background(), &buf, BenchOptions{
 		Experiments: []string{"e3"},
 		Scale:       0.15,
 		Seed:        1,

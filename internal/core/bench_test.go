@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"trajpattern/internal/grid"
@@ -111,7 +112,7 @@ func BenchmarkScoreAllBatch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.ScoreAll(patterns)
+		s.ScoreAll(context.Background(), patterns)
 	}
 }
 
@@ -126,7 +127,7 @@ func BenchmarkMineSmall(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Mine(s, MinerConfig{K: 8, MaxLen: 5, MaxLowQ: 32}); err != nil {
+		if _, err := Mine(context.Background(), s, MinerConfig{K: 8, MaxLen: 5, MaxLowQ: 32}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -145,7 +146,7 @@ func BenchmarkMineSmallMetrics(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Mine(s, MinerConfig{K: 8, MaxLen: 5, MaxLowQ: 32, Metrics: reg}); err != nil {
+		if _, err := Mine(context.Background(), s, MinerConfig{K: 8, MaxLen: 5, MaxLowQ: 32, Metrics: reg}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"trajpattern/internal/faultio"
 	"trajpattern/internal/obs"
 	"trajpattern/internal/trace"
 )
@@ -80,6 +83,34 @@ type MinerConfig struct {
 	// runs on the mining goroutine — keep it fast (the CLIs install a
 	// throttled printer).
 	OnProgress func(Progress)
+	// MaxWallTime, when > 0, bounds the run's wall-clock duration on top
+	// of any deadline carried by the Context: the miner stops at the
+	// first iteration boundary past the budget and returns its
+	// best-so-far answer with Result.Interrupted set. Like context
+	// cancellation this is graceful degradation, not an error — but it
+	// trades the determinism of the result for the bound, so leave it
+	// zero when reproducibility matters.
+	MaxWallTime time.Duration
+	// CheckpointPath, when non-empty, makes the miner persist a
+	// crash-safe snapshot of its state (see Checkpoint) every
+	// CheckpointEvery iterations and at a cancellation boundary. Writes
+	// are atomic (temp file + fsync + rename) with a CRC trailer, so the
+	// path always holds a complete, verifiable checkpoint.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in grow iterations.
+	// Zero means 1 (every iteration boundary).
+	CheckpointEvery int
+	// Resume, when non-nil, restores the miner's state from a previous
+	// run's checkpoint instead of seeding from scratch. The checkpoint's
+	// fingerprint must match this run's configuration and dataset.
+	// Because checkpoints are taken only at iteration boundaries, a
+	// resumed run replays the remaining iterations exactly and its final
+	// answer is identical to the uninterrupted run's.
+	Resume *Checkpoint
+	// CheckpointFS overrides the filesystem used for checkpoint writes;
+	// nil means the real OS. Tests inject a *faultio.Faults to prove
+	// crash-safety.
+	CheckpointFS faultio.FS
 }
 
 // Progress is the point-in-time view of a running Mine call handed to
@@ -114,6 +145,9 @@ func (c MinerConfig) withDefaults() MinerConfig {
 	if c.MaxHigh == 0 {
 		c.MaxHigh = 4 * c.K
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 	return c
 }
 
@@ -123,6 +157,12 @@ func (c MinerConfig) validate() error {
 	}
 	if c.MaxLen < 0 || c.MaxIters < 0 || c.MaxLowQ < 0 {
 		return fmt.Errorf("core: negative MaxLen/MaxIters/MaxLowQ")
+	}
+	if c.MaxWallTime < 0 {
+		return fmt.Errorf("core: negative MaxWallTime")
+	}
+	if c.Resume != nil && c.Resume.Version != CheckpointVersion {
+		return fmt.Errorf("core: resume checkpoint version %d, want %d", c.Resume.Version, CheckpointVersion)
 	}
 	if c.MinLen > c.MaxLen && c.MaxLen != 0 {
 		return fmt.Errorf("core: MinLen %d exceeds MaxLen %d", c.MinLen, c.MaxLen)
@@ -147,6 +187,16 @@ type Result struct {
 	// then lexicographic cell order, so results are deterministic.
 	Patterns []ScoredPattern
 	Stats    MinerStats
+	// Interrupted reports that the run stopped before the algorithm's
+	// own termination test fired: the context was cancelled or
+	// MaxWallTime elapsed. The running answer set is always a valid
+	// partial answer, so Patterns still holds the best-so-far top-k —
+	// graceful degradation, not an error.
+	Interrupted bool
+	// InterruptReason says why the run was interrupted ("context
+	// canceled", "max wall time 5s elapsed", ...); empty when
+	// Interrupted is false.
+	InterruptReason string
 }
 
 // entry is Q's record of one pattern.
@@ -178,39 +228,43 @@ type minerMetrics struct {
 	prunedCap  *obs.Counter // low patterns removed by the MaxLowQ cap
 	retained   *obs.Counter // patterns left in Q at the end of a run; across
 	// any number of runs, retained = seeds + fresh + readmitted − pruned
-	highCapped  *obs.Counter // high-set entries dropped by the MaxHigh cap
-	termStable  *obs.Counter // terminations: high+answer sets stable, answer full
-	termDry     *obs.Counter // terminations: stable and no fresh candidates left
-	termMaxIter *obs.Counter // terminations: MaxIters safety net hit
-	qFinal      *obs.Gauge   // |Q| when the loop ended
-	qPeak       *obs.Gauge   // peak |Q| across iterations
-	highSize    *obs.Gauge   // |H| at the last labeling
-	lowSize     *obs.Gauge   // |Q| − |H| at the last labeling
-	ansSize     *obs.Gauge   // answer-set size at the last labeling
-	total       *obs.Timer   // whole Mine call
-	iteration   *obs.Timer   // one grow iteration
+	highCapped    *obs.Counter // high-set entries dropped by the MaxHigh cap
+	termStable    *obs.Counter // terminations: high+answer sets stable, answer full
+	termDry       *obs.Counter // terminations: stable and no fresh candidates left
+	termMaxIter   *obs.Counter // terminations: MaxIters safety net hit
+	termInterrupt *obs.Counter // terminations: context cancelled or MaxWallTime elapsed
+	checkpoints   *obs.Counter // checkpoint files written
+	qFinal        *obs.Gauge   // |Q| when the loop ended
+	qPeak         *obs.Gauge   // peak |Q| across iterations
+	highSize      *obs.Gauge   // |H| at the last labeling
+	lowSize       *obs.Gauge   // |Q| − |H| at the last labeling
+	ansSize       *obs.Gauge   // answer-set size at the last labeling
+	total         *obs.Timer   // whole Mine call
+	iteration     *obs.Timer   // one grow iteration
 }
 
 func newMinerMetrics(r *obs.Registry) minerMetrics {
 	return minerMetrics{
-		iterations:  r.Counter("miner.iterations"),
-		seeds:       r.Counter("miner.seeds"),
-		fresh:       r.Counter("miner.candidates.fresh"),
-		readmitted:  r.Counter("miner.candidates.readmitted"),
-		prunedExt:   r.Counter("miner.pruned.extension"),
-		prunedCap:   r.Counter("miner.pruned.lowcap"),
-		retained:    r.Counter("miner.q.retained"),
-		highCapped:  r.Counter("miner.high.capped"),
-		termStable:  r.Counter("miner.term.stable"),
-		termDry:     r.Counter("miner.term.exhausted"),
-		termMaxIter: r.Counter("miner.term.maxiters"),
-		qFinal:      r.Gauge("miner.q.final"),
-		qPeak:       r.Gauge("miner.q.peak"),
-		highSize:    r.Gauge("miner.high.size"),
-		lowSize:     r.Gauge("miner.low.size"),
-		ansSize:     r.Gauge("miner.answer.size"),
-		total:       r.Timer("miner.time.total"),
-		iteration:   r.Timer("miner.time.iteration"),
+		iterations:    r.Counter("miner.iterations"),
+		seeds:         r.Counter("miner.seeds"),
+		fresh:         r.Counter("miner.candidates.fresh"),
+		readmitted:    r.Counter("miner.candidates.readmitted"),
+		prunedExt:     r.Counter("miner.pruned.extension"),
+		prunedCap:     r.Counter("miner.pruned.lowcap"),
+		retained:      r.Counter("miner.q.retained"),
+		highCapped:    r.Counter("miner.high.capped"),
+		termStable:    r.Counter("miner.term.stable"),
+		termDry:       r.Counter("miner.term.exhausted"),
+		termMaxIter:   r.Counter("miner.term.maxiters"),
+		termInterrupt: r.Counter("miner.term.interrupted"),
+		checkpoints:   r.Counter("miner.checkpoints"),
+		qFinal:        r.Gauge("miner.q.final"),
+		qPeak:         r.Gauge("miner.q.peak"),
+		highSize:      r.Gauge("miner.high.size"),
+		lowSize:       r.Gauge("miner.low.size"),
+		ansSize:       r.Gauge("miner.answer.size"),
+		total:         r.Timer("miner.time.total"),
+		iteration:     r.Timer("miner.time.iteration"),
 	}
 }
 
@@ -220,7 +274,13 @@ func newMinerMetrics(r *obs.Registry) minerMetrics {
 // patterns failing the 1-extension property (§4.1), and stop when the high
 // set and the answer set are stable. See MinerConfig.MinLen and
 // MinerConfig.MaxLowQ for the two documented deviations from the paper.
-func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
+//
+// ctx cancellation (and MinerConfig.MaxWallTime) interrupt the run
+// gracefully: the miner drains its scoring workers, optionally flushes a
+// final checkpoint, and returns its best-so-far top-k with
+// Result.Interrupted set — not an error. Real failures (invalid config,
+// a scoring panic, a checkpoint write error) are errors.
+func Mine(ctx context.Context, s *Scorer, cfg MinerConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -233,18 +293,30 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("core: no seed cells")
 	}
+	fp := cfg.fingerprint(s, seeds)
 
 	var stats MinerStats
 	m := newMinerMetrics(cfg.Metrics)
 	defer m.total.Start()()
 
-	start := time.Now() //trajlint:allow determinism -- feeds Progress.Elapsed, live UI feedback only; never part of the mined result
+	start := time.Now() //trajlint:allow determinism -- feeds Progress.Elapsed (UI) and the opt-in MaxWallTime bound; never part of the mined result otherwise
 	tl := cfg.Tracer.Local()
 	var runSpan *trace.Span
 	if tl != nil {
 		runSpan = tl.Span("miner.run", trace.Attrs{"k": cfg.K, "seeds": len(seeds)})
 	}
 	defer runSpan.End()
+
+	// interrupted reports why the run should stop early, or "".
+	interrupted := func() string {
+		if ctx.Err() != nil {
+			return context.Cause(ctx).Error()
+		}
+		if cfg.MaxWallTime > 0 && time.Since(start) >= cfg.MaxWallTime { //trajlint:allow determinism -- implements the opt-in MaxWallTime bound
+			return fmt.Sprintf("max wall time %v elapsed", cfg.MaxWallTime)
+		}
+		return ""
+	}
 
 	// Q and the evaluation memo. The memo survives pruning so a pattern
 	// regenerated in a later iteration is never rescored.
@@ -258,22 +330,89 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 		}
 	}
 
-	// Seed with singular patterns.
-	seedPats := make([]Pattern, len(seeds))
-	for i, c := range seeds {
-		seedPats[i] = Pattern{c}
+	var prevHigh, prevAns map[string]struct{}
+	lastFresh := -1   // fresh candidates evaluated in the previous iteration
+	startIter := 0    // first grow iteration to execute
+	resumeBaseNM := 0 // NM evaluations done before the resumed-from snapshot
+	if ck := cfg.Resume; ck != nil {
+		if ck.Fingerprint != fp {
+			return nil, fmt.Errorf("core: checkpoint fingerprint %s does not match this run's %s (different config, seeds, scoring, or dataset)", ck.Fingerprint, fp)
+		}
+		var err error
+		q, evaluated, prevHigh, prevAns, err = ck.restore()
+		if err != nil {
+			return nil, err
+		}
+		lastFresh = ck.LastFresh
+		stats = ck.Stats
+		startIter = ck.Iteration
+		resumeBaseNM = ck.Stats.NMEvaluations
+		if tl != nil {
+			tl.Event("miner.resume", trace.Attrs{"iter": startIter, "q": len(q)})
+		}
+	} else {
+		// Seed with singular patterns.
+		seedPats := make([]Pattern, len(seeds))
+		for i, c := range seeds {
+			seedPats[i] = Pattern{c}
+		}
+		nms, err := s.ScoreAll(ctx, seedPats)
+		if err != nil {
+			var pe *ScorePanicError
+			if errors.As(err, &pe) {
+				return nil, err
+			}
+			// Cancelled before any miner state exists: the empty answer
+			// is the only valid partial result.
+			m.termInterrupt.Inc()
+			return &Result{Stats: stats, Interrupted: true, InterruptReason: interrupted()}, nil
+		}
+		for i, nm := range nms {
+			evaluated[seedPats[i].Key()] = nm
+			insert(seedPats[i], nm)
+		}
+		stats.Candidates += len(seedPats)
+		m.seeds.Add(int64(len(seedPats)))
 	}
-	for i, nm := range s.ScoreAll(seedPats) {
-		evaluated[seedPats[i].Key()] = nm
-		insert(seedPats[i], nm)
+
+	// saveCk flushes a boundary snapshot: iter is the next iteration to
+	// execute. A failed checkpoint write is a hard error — continuing
+	// would let a crash lose far more work than the caller asked us to
+	// protect.
+	saveCk := func(iter int) error {
+		cks := stats
+		cks.NMEvaluations = resumeBaseNM + s.NMEvaluations()
+		snap := snapshot(fp, iter, lastFresh, cks, q, evaluated, prevHigh, prevAns)
+		if err := SaveCheckpoint(cfg.CheckpointFS, cfg.CheckpointPath, snap); err != nil {
+			return fmt.Errorf("core: checkpoint: %w", err)
+		}
+		m.checkpoints.Inc()
+		if tl != nil {
+			tl.Event("miner.checkpoint", trace.Attrs{"iter": iter, "q": len(q)})
+		}
+		return nil
 	}
-	stats.Candidates += len(seedPats)
-	m.seeds.Add(int64(len(seedPats)))
 
 	terminated := false
-	var prevHigh, prevAns map[string]struct{}
-	lastFresh := -1 // fresh candidates evaluated in the previous iteration
-	for iter := 0; iter < cfg.MaxIters; iter++ {
+	interruptReason := ""
+	for iter := startIter; iter < cfg.MaxIters; iter++ {
+		// Interrupt and checkpoint only at iteration boundaries: the
+		// in-memory state here is exactly what a resumed run needs to
+		// replay the rest of the search deterministically.
+		if reason := interrupted(); reason != "" {
+			interruptReason = reason
+			if cfg.CheckpointPath != "" && iter != startIter {
+				if err := saveCk(iter); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
+		if cfg.CheckpointPath != "" && iter != startIter && (iter-startIter)%cfg.CheckpointEvery == 0 {
+			if err := saveCk(iter); err != nil {
+				return nil, err
+			}
+		}
 		stats.Iterations = iter + 1
 		m.iterations.Inc()
 		stopIter := m.iteration.Start()
@@ -352,7 +491,24 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 
 		lastFresh = len(fresh)
 		if len(fresh) > 0 {
-			nms := s.ScoreAll(fresh)
+			nms, err := s.ScoreAll(ctx, fresh)
+			if err != nil {
+				var pe *ScorePanicError
+				if errors.As(err, &pe) {
+					iterSpan.Attr("error", pe.Error()).End()
+					stopIter()
+					return nil, err
+				}
+				// Cancelled mid-iteration. Q already absorbed this
+				// iteration's readmissions but that is still a valid
+				// pattern set for a best-so-far answer; the last
+				// boundary checkpoint (if any) remains the resume
+				// point, so resuming replays this iteration in full.
+				interruptReason = interrupted()
+				iterSpan.Attr("interrupted", true).End()
+				stopIter()
+				break
+			}
 			for i, p := range fresh {
 				evaluated[p.Key()] = nms[i]
 				insert(p, nms[i])
@@ -437,15 +593,24 @@ func Mine(s *Scorer, cfg MinerConfig) (*Result, error) {
 			})
 		}
 	}
-	if !terminated {
+	switch {
+	case interruptReason != "":
+		m.termInterrupt.Inc()
+	case !terminated:
 		m.termMaxIter.Inc()
 	}
 	m.qFinal.Set(int64(len(q)))
 	m.retained.Add(int64(len(q)))
 	runSpan.Attr("iterations", stats.Iterations).Attr("q_final", len(q))
 
-	stats.NMEvaluations = s.NMEvaluations()
-	return &Result{Patterns: topK(q, cfg.K, cfg.MinLen), Stats: stats}, nil
+	stats.NMEvaluations = resumeBaseNM + s.NMEvaluations()
+	res := &Result{Patterns: topK(q, cfg.K, cfg.MinLen), Stats: stats}
+	if interruptReason != "" {
+		res.Interrupted = true
+		res.InterruptReason = interruptReason
+		runSpan.Attr("interrupted", interruptReason)
+	}
+	return res, nil
 }
 
 // label computes the current high set and answer set of Q. The high

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -48,13 +49,13 @@ func exhaustiveTopK(s *Scorer, cells []int, k, minLen, maxLen int) []ScoredPatte
 
 func TestMinerConfigValidation(t *testing.T) {
 	s := testScorer(t, randomDataset(1, 2, 5, 0.1), 3)
-	if _, err := Mine(s, MinerConfig{K: 0}); err == nil {
+	if _, err := Mine(context.Background(), s, MinerConfig{K: 0}); err == nil {
 		t.Error("K=0 accepted")
 	}
-	if _, err := Mine(s, MinerConfig{K: 1, MinLen: 5, MaxLen: 3}); err == nil {
+	if _, err := Mine(context.Background(), s, MinerConfig{K: 1, MinLen: 5, MaxLen: 3}); err == nil {
 		t.Error("MinLen > MaxLen accepted")
 	}
-	if _, err := Mine(s, MinerConfig{K: 1, Seeds: []int{}}); err == nil {
+	if _, err := Mine(context.Background(), s, MinerConfig{K: 1, Seeds: []int{}}); err == nil {
 		t.Error("empty seed set accepted")
 	}
 }
@@ -68,7 +69,7 @@ func TestMinerFindsPlantedPattern(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Mine(s, MinerConfig{K: 5, MaxLen: 6})
+	res, err := Mine(context.Background(), s, MinerConfig{K: 5, MaxLen: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestMinerMatchesExhaustiveOracle(t *testing.T) {
 	}
 	maxLen := 4
 	k := 8
-	res, err := Mine(s, MinerConfig{K: k, MaxLen: maxLen, Seeds: s.AllCells()})
+	res, err := Mine(context.Background(), s, MinerConfig{K: k, MaxLen: maxLen, Seeds: s.AllCells()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestMinerMinLenVariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Mine(s, MinerConfig{K: 5, MinLen: 3, MaxLen: 5, Seeds: s.AllCells()})
+	res, err := Mine(context.Background(), s, MinerConfig{K: 5, MinLen: 3, MaxLen: 5, Seeds: s.AllCells()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,12 +184,12 @@ func TestMinerPruningAblationSameResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := MinerConfig{K: 6, MaxLen: 5, Seeds: s1.AllCells()}
-	withPrune, err := Mine(s1, cfg)
+	withPrune, err := Mine(context.Background(), s1, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.DisablePrune = true
-	noPrune, err := Mine(s2, cfg)
+	noPrune, err := Mine(context.Background(), s2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestMinerDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Mine(s, MinerConfig{K: 4, MaxLen: 4})
+		res, err := Mine(context.Background(), s, MinerConfig{K: 4, MaxLen: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,7 +243,7 @@ func TestMinerStatsPopulated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Mine(s, MinerConfig{K: 3, MaxLen: 4})
+	res, err := Mine(context.Background(), s, MinerConfig{K: 3, MaxLen: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestMinerMaxHighUnlimited(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Mine(s, MinerConfig{K: 6, MaxLen: 4, MaxHigh: maxHigh, Seeds: s.AllCells()})
+		res, err := Mine(context.Background(), s, MinerConfig{K: 6, MaxLen: 4, MaxHigh: maxHigh, Seeds: s.AllCells()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,7 +287,7 @@ func TestMinerMaxLowQCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Mine(s, MinerConfig{K: 4, MaxLen: 5, MaxLowQ: 3, Seeds: s.AllCells()})
+	res, err := Mine(context.Background(), s, MinerConfig{K: 4, MaxLen: 5, MaxLowQ: 3, Seeds: s.AllCells()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestMinerSurvivesDegenerateTies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Mine(s, MinerConfig{K: 5, MaxLen: 6})
+	res, err := Mine(context.Background(), s, MinerConfig{K: 5, MaxLen: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestMinerRespectsMaxLen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Mine(s, MinerConfig{K: 5, MaxLen: 3, Seeds: s.AllCells()})
+	res, err := Mine(context.Background(), s, MinerConfig{K: 5, MaxLen: 3, Seeds: s.AllCells()})
 	if err != nil {
 		t.Fatal(err)
 	}

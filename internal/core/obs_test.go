@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -26,7 +27,7 @@ func TestMinerMetricsConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := MinerConfig{K: 3, MaxLen: 4, MaxLowQ: 12, Metrics: reg}
-	res, err := Mine(s, cfg)
+	res, err := Mine(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestMinerMetricsConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.Metrics = nil
-	res2, err := Mine(s2, cfg)
+	res2, err := Mine(context.Background(), s2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestStreamNMMetrics(t *testing.T) {
 	reg := obs.New()
 	cfg := Config{Grid: g, Delta: g.CellWidth(), Metrics: reg}
 	patterns := []Pattern{{0, 4}, {4, 8}}
-	if _, err := StreamNM(NewSliceCursor(data), cfg, patterns); err != nil {
+	if _, err := StreamNM(context.Background(), NewSliceCursor(data), cfg, patterns); err != nil {
 		t.Fatal(err)
 	}
 	snap := reg.Snapshot()
@@ -165,7 +166,7 @@ func ExampleMinerConfig_metrics() {
 	}
 	reg := obs.New()
 	s, _ := NewScorer(traj.Dataset{tr}, Config{Grid: g, Delta: g.CellWidth(), Metrics: reg})
-	res, _ := Mine(s, MinerConfig{K: 2, MaxLen: 3, Metrics: reg})
+	res, _ := Mine(context.Background(), s, MinerConfig{K: 2, MaxLen: 3, Metrics: reg})
 	snap := reg.Snapshot()
 	fmt.Println(len(res.Patterns) > 0,
 		snap.Counter("scorer.nm.evals") > 0,

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"trajpattern/internal/faultio"
 )
 
 // This file persists mined results so patterns can be mined once and
@@ -69,18 +71,13 @@ func ReadPatterns(r io.Reader, validate func(Pattern) error) ([]ScoredPattern, e
 	return out, nil
 }
 
-// SavePatterns writes scored patterns to the named file.
-func SavePatterns(path string, patterns []ScoredPattern) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("core: closing %s: %w", path, cerr)
-		}
-	}()
-	return WritePatterns(f, patterns)
+// SavePatterns writes scored patterns to the named file atomically
+// (temp file + fsync + rename): a crash mid-write leaves the previous
+// file, never a torn one.
+func SavePatterns(path string, patterns []ScoredPattern) error {
+	return faultio.WriteFileAtomic(nil, path, func(w io.Writer) error {
+		return WritePatterns(w, patterns)
+	})
 }
 
 // LoadPatterns reads scored patterns from the named file.

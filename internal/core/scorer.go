@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -382,11 +384,35 @@ func (s *Scorer) Match(p Pattern) float64 {
 	return sum
 }
 
+// ScorePanicError reports a panic recovered inside a ScoreAll worker.
+// The pool recovers per job, so one poisoned pattern never wedges the
+// other workers or kills the process; the batch instead returns this
+// typed error. When several jobs panic in one batch, the one with the
+// smallest pattern index is reported, keeping the error deterministic
+// regardless of goroutine scheduling.
+type ScorePanicError struct {
+	Index int    // index into the batch of the pattern whose evaluation panicked
+	Value any    // the recovered panic value
+	Stack string // goroutine stack captured at the recovery point
+}
+
+// Error implements error.
+func (e *ScorePanicError) Error() string {
+	return fmt.Sprintf("core: scoring pattern %d panicked: %v", e.Index, e.Value)
+}
+
 // ScoreAll evaluates NM for every pattern concurrently and returns the
 // values in input order. It first materializes the log-prob vectors of all
 // touched cells (serially), then fans the window scans out over
 // cfg.Workers goroutines.
-func (s *Scorer) ScoreAll(patterns []Pattern) []float64 {
+//
+// ctx cancellation stops dispatching new jobs; in-flight evaluations
+// finish (each is short), the pool drains cleanly, and the call returns
+// ctx's cause wrapped in an error. A panic in a worker is recovered per
+// job and surfaces as a *ScorePanicError after the pool has drained.
+// Either way no goroutine is left behind. On success the returned error
+// is nil and the values are deterministic for a given dataset/config.
+func (s *Scorer) ScoreAll(ctx context.Context, patterns []Pattern) ([]float64, error) {
 	defer s.m.batchTime.Start()()
 	s.m.batches.Inc()
 	s.m.batchPats.Add(int64(len(patterns)))
@@ -412,7 +438,11 @@ func (s *Scorer) ScoreAll(patterns []Pattern) []float64 {
 	s.Prepare(order)
 
 	out := make([]float64, len(patterns))
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicErr *ScorePanicError
+	)
 	jobs := make(chan int)
 	for w := 0; w < s.cfg.Workers; w++ {
 		wg.Add(1)
@@ -426,18 +456,40 @@ func (s *Scorer) ScoreAll(patterns []Pattern) []float64 {
 			defer wg.Done()
 			done := int64(0)
 			for i := range jobs {
-				out[i] = s.NM(patterns[i])
 				done++
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicErr == nil || i < panicErr.Index {
+								panicErr = &ScorePanicError{Index: i, Value: r, Stack: string(debug.Stack())}
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = s.NM(patterns[i])
+				}()
 			}
 			jobCount.Add(done)
 		}()
 	}
+dispatch:
 	for i := range patterns {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	if panicErr != nil {
+		return nil, panicErr
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("core: scoring cancelled: %w", context.Cause(ctx))
+	}
+	return out, nil
 }
 
 // Append adds trajectories to the dataset in place, extending every

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -180,7 +181,10 @@ func TestScoreAllMatchesIndividual(t *testing.T) {
 	data := randomDataset(5, 6, 12, 0.1)
 	s := testScorer(t, data, 4)
 	patterns := []Pattern{{0}, {5, 6}, {1, 2, 3}, {15}, {8, 8}}
-	batch := s.ScoreAll(patterns)
+	batch, err := s.ScoreAll(context.Background(), patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, p := range patterns {
 		if ind := s.NM(p); math.Abs(batch[i]-ind) > 1e-12 {
 			t.Errorf("ScoreAll[%d]=%v != NM=%v", i, batch[i], ind)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"trajpattern/internal/trace"
@@ -18,8 +19,12 @@ import (
 // Cursor yields the trajectories of a dataset one at a time. Next returns
 // (nil, nil) after the last trajectory; Reset restarts the iteration. A
 // cursor implementation typically streams a JSON-lines file.
+//
+// Next honours its context: a cursor returns promptly with the context's
+// cause once it is cancelled, so a stream evaluation over a huge file can
+// be interrupted between records.
 type Cursor interface {
-	Next() (traj.Trajectory, error)
+	Next(ctx context.Context) (traj.Trajectory, error)
 	Reset() error
 }
 
@@ -33,7 +38,10 @@ type SliceCursor struct {
 func NewSliceCursor(d traj.Dataset) *SliceCursor { return &SliceCursor{data: d} }
 
 // Next implements Cursor.
-func (c *SliceCursor) Next() (traj.Trajectory, error) {
+func (c *SliceCursor) Next(ctx context.Context) (traj.Trajectory, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: cursor cancelled: %w", context.Cause(ctx))
+	}
 	if c.pos >= len(c.data) {
 		return nil, nil
 	}
@@ -66,11 +74,18 @@ func NewFileCursor(path string) *FileCursor {
 }
 
 // Next implements Cursor. After the last trajectory (or after a read
-// error) the underlying file is closed and every further call returns
-// (nil, nil) until Reset.
-func (c *FileCursor) Next() (traj.Trajectory, error) {
+// error or cancellation) the underlying file is closed and every further
+// call returns (nil, nil) until Reset.
+func (c *FileCursor) Next(ctx context.Context) (traj.Trajectory, error) {
 	if c.done {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancellation ends the scan like a read error: the descriptor
+		// is released now, not at garbage collection.
+		c.done = true
+		c.release()
+		return nil, fmt.Errorf("core: cursor cancelled: %w", context.Cause(ctx))
 	}
 	if c.r == nil {
 		r, err := traj.OpenReader(c.path)
@@ -126,7 +141,7 @@ func (c *FileCursor) release() error {
 //
 // One pass evaluates all patterns against each trajectory before moving
 // on, so the I/O cost is a single scan regardless of len(patterns).
-func StreamNM(cur Cursor, cfg Config, patterns []Pattern) ([]float64, error) {
+func StreamNM(ctx context.Context, cur Cursor, cfg Config, patterns []Pattern) ([]float64, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -164,7 +179,7 @@ func StreamNM(cur Cursor, cfg Config, patterns []Pattern) ([]float64, error) {
 	n := 0
 	defer func() { sp.Attr("trajectories", n).End() }()
 	for {
-		t, err := cur.Next()
+		t, err := cur.Next(ctx)
 		if err != nil {
 			return nil, err
 		}

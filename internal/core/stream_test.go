@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -23,7 +24,7 @@ func TestStreamNMMatchesResidentScorer(t *testing.T) {
 	for i, p := range patterns {
 		want[i] = s.NM(p)
 	}
-	got, err := StreamNM(NewSliceCursor(data), cfg, patterns)
+	got, err := StreamNM(context.Background(), NewSliceCursor(data), cfg, patterns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestStreamNMFileCursor(t *testing.T) {
 	patterns := []Pattern{{3}, {7, 11}}
 
 	cur := NewFileCursor(path)
-	got, err := StreamNM(cur, cfg, patterns)
+	got, err := StreamNM(context.Background(), cur, cfg, patterns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestStreamNMFileCursor(t *testing.T) {
 	}
 	// A second pass after Reset must give the same answer (the cursor
 	// reopens the file).
-	got2, err := StreamNM(cur, cfg, patterns)
+	got2, err := StreamNM(context.Background(), cur, cfg, patterns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,19 +76,19 @@ func TestStreamNMValidation(t *testing.T) {
 	data := randomDataset(23, 2, 8, 0.1)
 	g := grid.NewSquare(4)
 	cfg := Config{Grid: g, Delta: g.CellWidth()}
-	if _, err := StreamNM(NewSliceCursor(data), cfg, []Pattern{{}}); err == nil {
+	if _, err := StreamNM(context.Background(), NewSliceCursor(data), cfg, []Pattern{{}}); err == nil {
 		t.Error("empty pattern accepted")
 	}
-	if _, err := StreamNM(NewSliceCursor(data), cfg, []Pattern{{99}}); err == nil {
+	if _, err := StreamNM(context.Background(), NewSliceCursor(data), cfg, []Pattern{{99}}); err == nil {
 		t.Error("out-of-grid pattern accepted")
 	}
-	if _, err := StreamNM(NewSliceCursor(nil), cfg, []Pattern{{0}}); err == nil {
+	if _, err := StreamNM(context.Background(), NewSliceCursor(nil), cfg, []Pattern{{0}}); err == nil {
 		t.Error("empty dataset accepted")
 	}
-	if _, err := StreamNM(NewSliceCursor(data), Config{Grid: g, Delta: 0}, []Pattern{{0}}); err == nil {
+	if _, err := StreamNM(context.Background(), NewSliceCursor(data), Config{Grid: g, Delta: 0}, []Pattern{{0}}); err == nil {
 		t.Error("invalid config accepted")
 	}
-	if _, err := StreamNM(NewFileCursor("/nonexistent/x.jsonl"), cfg, []Pattern{{0}}); err == nil {
+	if _, err := StreamNM(context.Background(), NewFileCursor("/nonexistent/x.jsonl"), cfg, []Pattern{{0}}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -112,7 +113,7 @@ func TestFileCursorReleasesOnError(t *testing.T) {
 	c := NewFileCursor(path)
 	var readErr error
 	for {
-		tr, err := c.Next()
+		tr, err := c.Next(context.Background())
 		if err != nil {
 			readErr = err
 			break
@@ -128,13 +129,13 @@ func TestFileCursorReleasesOnError(t *testing.T) {
 		t.Error("file descriptor still held after a read error")
 	}
 	// The failed scan stays terminated until Reset: no silent restart.
-	if tr, err := c.Next(); err != nil || tr != nil {
+	if tr, err := c.Next(context.Background()); err != nil || tr != nil {
 		t.Errorf("Next after error = (%v, %v), want (nil, nil)", tr, err)
 	}
 	if err := c.Reset(); err != nil {
 		t.Fatal(err)
 	}
-	if tr, err := c.Next(); err != nil || tr == nil {
+	if tr, err := c.Next(context.Background()); err != nil || tr == nil {
 		t.Errorf("Next after Reset = (%v, %v), want a trajectory", tr, err)
 	}
 	if c.r == nil {
@@ -147,7 +148,7 @@ func TestFileCursorReleasesOnError(t *testing.T) {
 	if c.r != nil {
 		t.Error("file descriptor still held after Close")
 	}
-	if tr, err := c.Next(); err != nil || tr != nil {
+	if tr, err := c.Next(context.Background()); err != nil || tr != nil {
 		t.Errorf("Next after Close = (%v, %v), want (nil, nil)", tr, err)
 	}
 	if err := c.Close(); err != nil {
@@ -167,7 +168,7 @@ func TestFileCursorClosesAtEOF(t *testing.T) {
 	defer c.Close()
 	n := 0
 	for {
-		tr, err := c.Next()
+		tr, err := c.Next(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +184,7 @@ func TestFileCursorClosesAtEOF(t *testing.T) {
 		t.Error("file descriptor still held after EOF")
 	}
 	// Idempotent EOF: further Next calls stay (nil, nil) without reopening.
-	if tr, err := c.Next(); err != nil || tr != nil {
+	if tr, err := c.Next(context.Background()); err != nil || tr != nil {
 		t.Errorf("Next after EOF = (%v, %v), want (nil, nil)", tr, err)
 	}
 	if c.r != nil {
@@ -196,7 +197,7 @@ func TestSliceCursor(t *testing.T) {
 	c := NewSliceCursor(data)
 	count := 0
 	for {
-		tr, err := c.Next()
+		tr, err := c.Next(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,7 +212,7 @@ func TestSliceCursor(t *testing.T) {
 	if err := c.Reset(); err != nil {
 		t.Fatal(err)
 	}
-	if tr, err := c.Next(); err != nil || tr == nil {
+	if tr, err := c.Next(context.Background()); err != nil || tr == nil {
 		t.Error("reset cursor empty")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestMinerTraceConsistency(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Mine(s, MinerConfig{K: 3, MaxLen: 4, MaxLowQ: 12, Metrics: reg, Tracer: tr})
+		res, err := Mine(context.Background(), s, MinerConfig{K: 3, MaxLen: 4, MaxLowQ: 12, Metrics: reg, Tracer: tr})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestMinerTraceConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res3, err := Mine(s3, MinerConfig{K: 3, MaxLen: 4, MaxLowQ: 12})
+	res3, err := Mine(context.Background(), s3, MinerConfig{K: 3, MaxLen: 4, MaxLowQ: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestMinerTraceAttrs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Mine(s, MinerConfig{K: 2, MaxLen: 3, MaxLowQ: 8, Tracer: tr}); err != nil {
+	if _, err := Mine(context.Background(), s, MinerConfig{K: 2, MaxLen: 3, MaxLowQ: 8, Tracer: tr}); err != nil {
 		t.Fatal(err)
 	}
 	checked := 0
@@ -141,7 +142,7 @@ func TestStreamNMTrace(t *testing.T) {
 	data := patternedDatasetPts(5, g, []int{0, 4}, 4, 2, 0.05, 0.02)
 	tr := trace.New()
 	cfg := Config{Grid: g, Delta: g.CellWidth(), Tracer: tr}
-	if _, err := StreamNM(NewSliceCursor(data), cfg, []Pattern{{0, 4}, {4, 8}}); err != nil {
+	if _, err := StreamNM(context.Background(), NewSliceCursor(data), cfg, []Pattern{{0, 4}, {4, 8}}); err != nil {
 		t.Fatal(err)
 	}
 	events := tr.Events()
@@ -170,7 +171,7 @@ func TestMinerProgress(t *testing.T) {
 		t.Fatal(err)
 	}
 	var updates []Progress
-	res, err := Mine(s, MinerConfig{K: 2, MaxLen: 3, MaxLowQ: 8, OnProgress: func(p Progress) {
+	res, err := Mine(context.Background(), s, MinerConfig{K: 2, MaxLen: 3, MaxLowQ: 8, OnProgress: func(p Progress) {
 		updates = append(updates, p)
 	}})
 	if err != nil {

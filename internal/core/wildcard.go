@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -256,11 +257,11 @@ type ScoredWildPattern struct {
 // consecutive "*" symbols are inserted at each internal boundary whenever
 // that improves the pattern's NM, and the refined set is re-ranked. The
 // result keeps cfg.K entries.
-func MineWithWildcards(s *Scorer, cfg MinerConfig, maxRun int) ([]ScoredWildPattern, *Result, error) {
+func MineWithWildcards(ctx context.Context, s *Scorer, cfg MinerConfig, maxRun int) ([]ScoredWildPattern, *Result, error) {
 	if maxRun < 0 {
 		return nil, nil, fmt.Errorf("core: negative wildcard budget %d", maxRun)
 	}
-	res, err := Mine(s, cfg)
+	res, err := Mine(ctx, s, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

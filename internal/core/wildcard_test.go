@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -191,7 +192,7 @@ func TestMineWithWildcards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wild, plain, err := MineWithWildcards(s, MinerConfig{K: 5, MinLen: 2, MaxLen: 4, MaxLowQ: 20}, 2)
+	wild, plain, err := MineWithWildcards(context.Background(), s, MinerConfig{K: 5, MinLen: 2, MaxLen: 4, MaxLowQ: 20}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestMineWithWildcards(t *testing.T) {
 	if wild[0].NM < plain.Patterns[0].NM-1e-12 {
 		t.Errorf("refinement degraded the best pattern: %v < %v", wild[0].NM, plain.Patterns[0].NM)
 	}
-	if _, _, err := MineWithWildcards(s, MinerConfig{K: 2, MaxLen: 3}, -1); err == nil {
+	if _, _, err := MineWithWildcards(context.Background(), s, MinerConfig{K: 2, MaxLen: 3}, -1); err == nil {
 		t.Error("negative budget accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"trajpattern/internal/core"
@@ -11,7 +12,7 @@ import (
 // and without the Prune step of §4.1. Results are identical (the lemma
 // guarantees no top-k pattern is lost); the peak size of Q and the
 // candidate count differ.
-func RunA1(o SweepOptions) (*Table, error) {
+func RunA1(ctx context.Context, o SweepOptions) (*Table, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -28,7 +29,7 @@ func RunA1(o SweepOptions) (*Table, error) {
 			return core.MinerStats{}, 0, nil, err
 		}
 		elapsed := stopwatch()
-		res, err := core.Mine(s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K, DisablePrune: disable})
+		res, err := core.Mine(ctx, s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K, DisablePrune: disable})
 		if err != nil {
 			return core.MinerStats{}, 0, nil, err
 		}
@@ -68,7 +69,7 @@ func RunA1(o SweepOptions) (*Table, error) {
 
 // RunA2 is the probability-mode ablation: NM evaluation cost and values
 // under the box (default) versus disk interpretation of Prob(l,σ,p,δ).
-func RunA2(o SweepOptions) (*Table, error) {
+func RunA2(ctx context.Context, o SweepOptions) (*Table, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -85,7 +86,7 @@ func RunA2(o SweepOptions) (*Table, error) {
 			return 0, 0, err
 		}
 		elapsed := stopwatch()
-		res, err := core.Mine(s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K})
+		res, err := core.Mine(ctx, s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -114,7 +115,7 @@ func RunA2(o SweepOptions) (*Table, error) {
 }
 
 // RunA3 is the log-prob cache ablation: identical results, different cost.
-func RunA3(o SweepOptions) (*Table, error) {
+func RunA3(ctx context.Context, o SweepOptions) (*Table, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -131,7 +132,7 @@ func RunA3(o SweepOptions) (*Table, error) {
 			return 0, err
 		}
 		elapsed := stopwatch()
-		if _, err := core.Mine(s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K}); err != nil {
+		if _, err := core.Mine(ctx, s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K}); err != nil {
 			return 0, err
 		}
 		return elapsed(), nil

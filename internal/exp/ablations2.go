@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"trajpattern/internal/core"
@@ -12,7 +13,7 @@ import (
 // sweeps the cap and reports runtime, peak |Q| and answer quality (the sum
 // of the top-k NM values, higher = better), showing how small a cap
 // preserves the result.
-func RunA4(o SweepOptions) (*Table, error) {
+func RunA4(ctx context.Context, o SweepOptions) (*Table, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -43,7 +44,7 @@ func RunA4(o SweepOptions) (*Table, error) {
 			return nil, err
 		}
 		elapsed := stopwatch()
-		res, err := core.Mine(s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: v.cap})
+		res, err := core.Mine(ctx, s, core.MinerConfig{K: o.K, MaxLen: o.MaxLen, MaxLowQ: v.cap})
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +66,7 @@ func RunA4(o SweepOptions) (*Table, error) {
 // RunA5 measures the Section 5 wildcard refinement: how many of the top-k
 // patterns improve when up to d wild cards may be inserted, and by how
 // much on average.
-func RunA5(o SweepOptions) (*Table, error) {
+func RunA5(ctx context.Context, o SweepOptions) (*Table, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -85,7 +86,7 @@ func RunA5(o SweepOptions) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		wild, plain, err := core.MineWithWildcards(s, core.MinerConfig{
+		wild, plain, err := core.MineWithWildcards(ctx, s, core.MinerConfig{
 			K: o.K, MinLen: 2, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K,
 		}, d)
 		if err != nil {

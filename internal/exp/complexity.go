@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,7 +19,7 @@ import (
 // because the miner seeds from observed cells only, the effective alphabet
 // grows with the data's spatial support, not with the raw cell count; the
 // paper's G-linear term assumes every grid cell is a seed.
-func RunA6(o SweepOptions) (*Table, error) {
+func RunA6(ctx context.Context, o SweepOptions) (*Table, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -39,7 +40,7 @@ func RunA6(o SweepOptions) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		res, err := core.Mine(s, core.MinerConfig{K: k, MaxLen: o.MaxLen, MaxLowQ: 4 * k})
+		res, err := core.Mine(ctx, s, core.MinerConfig{K: k, MaxLen: o.MaxLen, MaxLowQ: 4 * k})
 		if err != nil {
 			return 0, err
 		}

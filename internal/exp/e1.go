@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"trajpattern/internal/baseline"
@@ -30,7 +31,7 @@ type E1Result struct {
 // RunE1 reproduces the §6.1 statistic: the average length of the top-k NM
 // patterns of length >= 3 versus the top-k match patterns of the same
 // floor (paper: 4.2 vs 3.18 at k = 1000).
-func RunE1(o E1Options) (*E1Result, error) {
+func RunE1(ctx context.Context, o E1Options) (*E1Result, error) {
 	if o.K == 0 {
 		o.K = 100
 	}
@@ -55,7 +56,7 @@ func RunE1(o E1Options) (*E1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	nmRes, err := core.Mine(sNM, core.MinerConfig{K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K})
+	nmRes, err := core.Mine(ctx, sNM, core.MinerConfig{K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K})
 	if err != nil {
 		return nil, err
 	}

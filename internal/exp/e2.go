@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"trajpattern/internal/baseline"
@@ -40,7 +41,7 @@ type E2Result struct {
 // confirmation rule of §6.1, and report the relative reduction in
 // mis-predictions on the held-out traces. The paper reports 20–40%
 // reduction with NM patterns and 10–20% with match patterns.
-func RunE2(o E2Options) (*E2Result, error) {
+func RunE2(ctx context.Context, o E2Options) (*E2Result, error) {
 	if o.K == 0 {
 		o.K = 60
 	}
@@ -105,7 +106,7 @@ func RunE2(o E2Options) (*E2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	nmRes, err := core.Mine(sNM, core.MinerConfig{K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K})
+	nmRes, err := core.Mine(ctx, sNM, core.MinerConfig{K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K})
 	if err != nil {
 		return nil, err
 	}

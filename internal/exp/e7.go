@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"trajpattern/internal/core"
 	"trajpattern/internal/datagen"
 	"trajpattern/internal/grid"
@@ -18,7 +19,7 @@ type E7Options struct {
 // the indifferent threshold δ grows. A larger δ makes more grids
 // indifferent from the expected location, so more of the (fixed) k mined
 // patterns are similar to each other and the group count drops.
-func RunE7(o E7Options) (*Series, error) {
+func RunE7(ctx context.Context, o E7Options) (*Series, error) {
 	// E7 needs γ = 3σ̄ to span at least one grid cell — otherwise no two
 	// patterns are ever similar and the group count is flat at k — so its
 	// defaults use a larger uncertainty and a finer grid than the timing
@@ -67,7 +68,7 @@ func RunE7(o E7Options) (*Series, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Mine(s, core.MinerConfig{
+		res, err := core.Mine(ctx, s, core.MinerConfig{
 			K: sw.K, MaxLen: sw.MaxLen, MaxLowQ: 4 * sw.K,
 			Metrics: sw.Metrics, Tracer: sw.Tracer, OnProgress: sw.Progress,
 		})

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"trajpattern/internal/baseline"
@@ -33,7 +34,7 @@ type E8Result struct {
 // RunE8 mines the top-k NM and match patterns (length >= MinLen) on the
 // simulated human-posture dataset and compares average pattern lengths —
 // the posture-data analogue of E1.
-func RunE8(o E8Options) (*E8Result, error) {
+func RunE8(ctx context.Context, o E8Options) (*E8Result, error) {
 	if o.Subjects == 0 {
 		o.Subjects = 50
 	}
@@ -69,7 +70,7 @@ func RunE8(o E8Options) (*E8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	nmRes, err := core.Mine(sNM, core.MinerConfig{
+	nmRes, err := core.Mine(ctx, sNM, core.MinerConfig{
 		K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: 4 * o.K,
 	})
 	if err != nil {

@@ -1,9 +1,12 @@
 package exp
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunE8Shape(t *testing.T) {
-	res, err := RunE8(E8Options{Subjects: 12, Length: 40, K: 20, MinLen: 3, MaxLen: 6, GridN: 10, Seed: 7})
+	res, err := RunE8(context.Background(), E8Options{Subjects: 12, Length: 40, K: 20, MinLen: 3, MaxLen: 6, GridN: 10, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,16 +24,16 @@ func TestRunE8Shape(t *testing.T) {
 }
 
 func TestRunA4A5Shape(t *testing.T) {
-	if tb, err := RunA4(tinySweep()); err != nil || len(tb.Rows) != 4 {
+	if tb, err := RunA4(context.Background(), tinySweep()); err != nil || len(tb.Rows) != 4 {
 		t.Fatalf("A4: %v %+v", err, tb)
 	}
-	if tb, err := RunA5(tinySweep()); err != nil || len(tb.Rows) != 3 {
+	if tb, err := RunA5(context.Background(), tinySweep()); err != nil || len(tb.Rows) != 3 {
 		t.Fatalf("A5: %v %+v", err, tb)
 	}
 }
 
 func TestRunA6Shape(t *testing.T) {
-	tb, err := RunA6(tinySweep())
+	tb, err := RunA6(context.Background(), tinySweep())
 	if err != nil {
 		t.Fatal(err)
 	}

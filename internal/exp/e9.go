@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"trajpattern/internal/classify"
@@ -34,7 +35,7 @@ type E9Result struct {
 // places — the easy, high-accuracy case) and velocity trajectories (all
 // rectilinear routes share the ±x/±y vocabulary — the hard case, still
 // clearly above chance).
-func RunE9(o E9Options) (*E9Result, error) {
+func RunE9(ctx context.Context, o E9Options) (*E9Result, error) {
 	if o.K == 0 {
 		o.K = 15
 	}
@@ -71,7 +72,7 @@ func RunE9(o E9Options) (*E9Result, error) {
 	// both index by trace, so the split applies to either.
 	run := func(source traj.Dataset, sc core.Config) (float64, error) {
 		train, test := split(source)
-		c, err := classify.Train(train, classify.Config{
+		c, err := classify.Train(ctx, train, classify.Config{
 			Scorer: sc, K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen,
 		})
 		if err != nil {

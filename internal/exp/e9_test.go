@@ -1,9 +1,12 @@
 package exp
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunE9Shape(t *testing.T) {
-	res, err := RunE9(E9Options{Bus: tinyBus(), K: 6, MinLen: 2, MaxLen: 4})
+	res, err := RunE9(context.Background(), E9Options{Bus: tinyBus(), K: 6, MinLen: 2, MaxLen: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

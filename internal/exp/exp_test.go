@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -87,7 +88,7 @@ func TestMakeBusData(t *testing.T) {
 }
 
 func TestRunE1Shape(t *testing.T) {
-	res, err := RunE1(E1Options{Bus: tinyBus(), K: 30, MinLen: 3, MaxLen: 6})
+	res, err := RunE1(context.Background(), E1Options{Bus: tinyBus(), K: 30, MinLen: 3, MaxLen: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestRunE1Shape(t *testing.T) {
 }
 
 func TestRunE2Shape(t *testing.T) {
-	res, err := RunE2(E2Options{Bus: tinyBus(), K: 20, MinLen: 3, MaxLen: 6})
+	res, err := RunE2(context.Background(), E2Options{Bus: tinyBus(), K: 20, MinLen: 3, MaxLen: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestRunE2Shape(t *testing.T) {
 }
 
 func TestRunE3Shape(t *testing.T) {
-	ser, err := RunE3(tinySweep())
+	ser, err := RunE3(context.Background(), tinySweep())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRunE3Shape(t *testing.T) {
 }
 
 func TestRunE7Shape(t *testing.T) {
-	ser, err := RunE7(E7Options{Sweep: tinySweep()})
+	ser, err := RunE7(context.Background(), E7Options{Sweep: tinySweep()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestRunE7Shape(t *testing.T) {
 }
 
 func TestRunA1Shape(t *testing.T) {
-	tb, err := RunA1(tinySweep())
+	tb, err := RunA1(context.Background(), tinySweep())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,19 +184,19 @@ func TestRunA1Shape(t *testing.T) {
 }
 
 func TestRunA2A3Shape(t *testing.T) {
-	if tb, err := RunA2(tinySweep()); err != nil || len(tb.Rows) != 2 {
+	if tb, err := RunA2(context.Background(), tinySweep()); err != nil || len(tb.Rows) != 2 {
 		t.Fatalf("A2: %v, %+v", err, tb)
 	}
-	if tb, err := RunA3(tinySweep()); err != nil || len(tb.Rows) != 2 {
+	if tb, err := RunA3(context.Background(), tinySweep()); err != nil || len(tb.Rows) != 2 {
 		t.Fatalf("A3: %v, %+v", err, tb)
 	}
 }
 
 func TestRunE4E5E6Shape(t *testing.T) {
-	for name, run := range map[string]func(SweepOptions) (*Series, error){
+	for name, run := range map[string]func(context.Context, SweepOptions) (*Series, error){
 		"E4": RunE4, "E5": RunE5, "E6": RunE6,
 	} {
-		ser, err := run(tinySweep())
+		ser, err := run(context.Background(), tinySweep())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"trajpattern/internal/baseline"
 	"trajpattern/internal/core"
 	"trajpattern/internal/datagen"
@@ -85,7 +86,7 @@ func (o SweepOptions) dataset(s, l int) (traj.Dataset, error) {
 // timeMiners runs TrajPattern and PB on the same dataset/grid and returns
 // the wall-clock seconds of each. Fresh scorers are used per run so cached
 // probabilities do not leak across algorithms.
-func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int, o SweepOptions) (tpSec, pbSec float64, err error) {
+func timeMiners(ctx context.Context, ds traj.Dataset, g *grid.Grid, k, maxLen int, o SweepOptions) (tpSec, pbSec float64, err error) {
 	mk := func(reg *obs.Registry, tr *trace.Tracer) (*core.Scorer, error) {
 		return core.NewScorer(ds, core.Config{Grid: g, Delta: g.CellWidth(), Metrics: reg, Tracer: tr})
 	}
@@ -94,7 +95,7 @@ func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int, o SweepOptions) (t
 		return 0, 0, err
 	}
 	elapsed := stopwatch()
-	if _, err := core.Mine(sTP, core.MinerConfig{
+	if _, err := core.Mine(ctx, sTP, core.MinerConfig{
 		K: k, MaxLen: maxLen, MaxLowQ: 4 * k,
 		Metrics: o.Metrics, Tracer: o.Tracer, OnProgress: o.Progress,
 	}); err != nil {
@@ -116,7 +117,7 @@ func timeMiners(ds traj.Dataset, g *grid.Grid, k, maxLen int, o SweepOptions) (t
 
 // runSweep executes one Figure 4 sweep: xs are the x-axis values, setup
 // returns the dataset/grid/k for each x.
-func runSweep(title, xLabel string, xs []float64, o SweepOptions,
+func runSweep(ctx context.Context, title, xLabel string, xs []float64, o SweepOptions,
 	setup func(x float64) (traj.Dataset, *grid.Grid, int, int, error)) (*Series, error) {
 	tp := Line{Name: "TrajPattern (s)"}
 	pb := Line{Name: "PB (s)"}
@@ -125,7 +126,7 @@ func runSweep(title, xLabel string, xs []float64, o SweepOptions,
 		if err != nil {
 			return nil, err
 		}
-		tpSec, pbSec, err := timeMiners(ds, g, k, maxLen, o)
+		tpSec, pbSec, err := timeMiners(ctx, ds, g, k, maxLen, o)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +139,7 @@ func runSweep(title, xLabel string, xs []float64, o SweepOptions,
 // RunE3 reproduces Figure 4(a): response time versus the number of
 // patterns wanted, k. TrajPattern grows roughly quadratically in k while
 // PB's extensible-prefix set grows much faster.
-func RunE3(o SweepOptions) (*Series, error) {
+func RunE3(ctx context.Context, o SweepOptions) (*Series, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -149,7 +150,7 @@ func RunE3(o SweepOptions) (*Series, error) {
 	}
 	g := grid.NewSquare(o.GridN)
 	ks := []float64{2, 5, 10, 20, 40}
-	return runSweep("E3 (Figure 4a): response time vs k", "k", ks, o,
+	return runSweep(ctx, "E3 (Figure 4a): response time vs k", "k", ks, o,
 		func(x float64) (traj.Dataset, *grid.Grid, int, int, error) {
 			return ds, g, int(x), o.MaxLen, nil
 		})
@@ -157,7 +158,7 @@ func RunE3(o SweepOptions) (*Series, error) {
 
 // RunE4 reproduces Figure 4(b): response time versus the number of
 // trajectories S. TrajPattern is linear in S; PB is super-linear.
-func RunE4(o SweepOptions) (*Series, error) {
+func RunE4(ctx context.Context, o SweepOptions) (*Series, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -179,7 +180,7 @@ func RunE4(o SweepOptions) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runSweep("E4 (Figure 4b): response time vs number of trajectories S", "S", ss, o,
+	return runSweep(ctx, "E4 (Figure 4b): response time vs number of trajectories S", "S", ss, o,
 		func(x float64) (traj.Dataset, *grid.Grid, int, int, error) {
 			return full[:int(x)], g, o.K, o.MaxLen, nil
 		})
@@ -187,7 +188,7 @@ func RunE4(o SweepOptions) (*Series, error) {
 
 // RunE5 reproduces Figure 4(c): response time versus the average
 // trajectory length L. Both miners scan the data linearly in L.
-func RunE5(o SweepOptions) (*Series, error) {
+func RunE5(ctx context.Context, o SweepOptions) (*Series, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -199,7 +200,7 @@ func RunE5(o SweepOptions) (*Series, error) {
 		float64(scaleInt(75, o.Scale, 12)),
 		float64(scaleInt(100, o.Scale, 15)),
 	}
-	return runSweep("E5 (Figure 4c): response time vs average trajectory length L", "L", ls, o,
+	return runSweep(ctx, "E5 (Figure 4c): response time vs average trajectory length L", "L", ls, o,
 		func(x float64) (traj.Dataset, *grid.Grid, int, int, error) {
 			ds, err := o.dataset(o.S, int(x))
 			return ds, g, o.K, o.MaxLen, err
@@ -209,7 +210,7 @@ func RunE5(o SweepOptions) (*Series, error) {
 // RunE6 reproduces Figure 4(d): response time versus the number of grids
 // G. TrajPattern is linear in G; PB grows exponentially as every grid cell
 // becomes a candidate at each unspecified position.
-func RunE6(o SweepOptions) (*Series, error) {
+func RunE6(ctx context.Context, o SweepOptions) (*Series, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
@@ -227,7 +228,7 @@ func RunE6(o SweepOptions) (*Series, error) {
 	for _, n := range ns {
 		g := grid.NewSquare(int(n))
 		xs = append(xs, float64(g.NumCells()))
-		tpSec, pbSec, err := timeMiners(ds, g, o.K, o.MaxLen, o)
+		tpSec, pbSec, err := timeMiners(ctx, ds, g, o.K, o.MaxLen, o)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,96 @@
+// Package faultio provides the filesystem seam behind the repo's
+// crash-safe file writes: an FS interface covering exactly the
+// operations an atomic write needs (create a temp file, write, sync,
+// rename, remove), a passthrough OS implementation, and a Faults
+// implementation that injects errors — create failures, short writes,
+// sync failures, torn renames — so tests can prove that a writer either
+// completes a file or leaves the previous one untouched.
+//
+// Production code calls WriteFileAtomic with a nil FS and gets the real
+// operating system; tests pass a *Faults to simulate a crash at any
+// point of the temp-file + fsync + rename protocol.
+package faultio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File an atomic write uses.
+type File interface {
+	io.Writer
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of the atomic write protocol.
+// Implementations must be safe for use from a single goroutine at a
+// time; the repo's writers never share an FS across goroutines.
+type FS interface {
+	// CreateTemp creates a new unique file in dir (as os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath (as os.Rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (as os.Remove); used for cleanup on failure.
+	Remove(name string) error
+}
+
+// OS is the passthrough FS backed by the real operating system.
+type OS struct{}
+
+// CreateTemp implements FS via os.CreateTemp.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Rename implements FS via os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS via os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// WriteFileAtomic writes a file so that path always holds either its
+// previous contents or the complete new contents, never a torn mix:
+// fill streams the contents into a temp file in path's directory, the
+// temp file is fsynced and closed, and only then renamed over path.
+// Any failure — including a panic-free error from fill — removes the
+// temp file and leaves path untouched.
+//
+// fs selects the filesystem; nil means the real OS. Tests inject a
+// *Faults to simulate crashes at each step.
+func WriteFileAtomic(fs FS, path string, fill func(io.Writer) error) (err error) {
+	if fs == nil {
+		fs = OS{}
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := fs.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("faultio: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			fs.Remove(tmp)
+		}
+	}()
+	if err = fill(f); err != nil {
+		return fmt.Errorf("faultio: write %s: %w", path, err)
+	}
+	// Sync before rename: on a crash after the rename the new name must
+	// point at durable bytes, not a page-cache ghost.
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("faultio: sync %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("faultio: close %s: %w", path, err)
+	}
+	if err = fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("faultio: rename %s over %s: %w", tmp, path, err)
+	}
+	return nil
+}

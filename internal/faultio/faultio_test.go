@@ -1,0 +1,177 @@
+package faultio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readFile fails the test on error so call sites stay one line.
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(b)
+}
+
+// listDir returns the names in dir, for asserting temp-file cleanup.
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read dir: %v", err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileAtomicSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(nil, path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello\n")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	if got := readFile(t, path); got != "hello\n" {
+		t.Fatalf("content = %q, want %q", got, "hello\n")
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("leftover files: %v", names)
+	}
+}
+
+func TestWriteFileAtomicReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(nil, path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	if got := readFile(t, path); got != "new" {
+		t.Fatalf("content = %q, want %q", got, "new")
+	}
+}
+
+// fillErr is a fill callback failure: the target must be untouched and
+// the temp file removed.
+func TestWriteFileAtomicFillError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(nil, path, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := readFile(t, path); got != "old" {
+		t.Fatalf("target disturbed: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp not cleaned up: %v", names)
+	}
+}
+
+// Each injected fault must leave the previous file intact and clean up
+// its temp file (except FailCreate, which never creates one, and
+// TornRename, which deletes it itself).
+func TestWriteFileAtomicInjectedFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		arm  func(*Faults)
+	}{
+		{"create", func(fl *Faults) { fl.FailCreate = true }},
+		{"short-write", func(fl *Faults) { fl.ShortWriteAfter = 3 }},
+		{"sync", func(fl *Faults) { fl.FailSync = true }},
+		{"rename", func(fl *Faults) { fl.FailRename = true }},
+		{"torn-rename", func(fl *Faults) { fl.TornRename = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fl := NewFaults()
+			tc.arm(fl)
+			err := WriteFileAtomic(fl, path, func(w io.Writer) error {
+				_, err := io.WriteString(w, "new contents that are longer")
+				return err
+			})
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("err = %v, want ErrInjected", err)
+			}
+			if got := readFile(t, path); got != "old" {
+				t.Fatalf("target disturbed: %q", got)
+			}
+			if names := listDir(t, dir); len(names) != 1 {
+				t.Fatalf("temp not cleaned up: %v", names)
+			}
+		})
+	}
+}
+
+func TestFaultsShortWriteTruncates(t *testing.T) {
+	dir := t.TempDir()
+	fl := NewFaults()
+	fl.ShortWriteAfter = 4
+	f, err := fl.CreateTemp(dir, "x*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Write = (%d, %v), want (4, ErrShortWrite)", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, f.Name()); got != "abcd" {
+		t.Fatalf("temp content = %q, want %q", got, "abcd")
+	}
+}
+
+func TestWriteFileAtomicTempNamePattern(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "patterns.json")
+	fl := NewFaults()
+	fl.FailRename = true
+	var tmpName string
+	origRemove := fl.Removes
+	_ = origRemove
+	err := WriteFileAtomic(fl, path, func(w io.Writer) error {
+		tmpName = w.(*faultFile).Name()
+		return nil
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	// The temp file must live in the target's directory (rename across
+	// filesystems is not atomic) and be clearly associated with it.
+	if filepath.Dir(tmpName) != dir {
+		t.Fatalf("temp %q not in target dir %q", tmpName, dir)
+	}
+	if !strings.HasPrefix(filepath.Base(tmpName), "patterns.json.tmp") {
+		t.Fatalf("temp name %q lacks target prefix", tmpName)
+	}
+	if fl.Removes != 1 {
+		t.Fatalf("Removes = %d, want 1", fl.Removes)
+	}
+}

@@ -1,0 +1,112 @@
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the sentinel wrapped by every fault this package
+// injects, so tests can assert errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("faultio: injected fault")
+
+// Faults is an FS that forwards to the real OS but injects failures at
+// chosen points of the atomic write protocol. The zero value injects
+// nothing. Each knob simulates one way a write can die:
+//
+//   - FailCreate: the temp file cannot be created at all.
+//   - ShortWriteAfter: writes succeed for the first N bytes and then
+//     fail, as on a full disk — the classic torn-write producer.
+//   - FailSync: data reached the page cache but fsync reports an I/O
+//     error, i.e. durability was NOT achieved.
+//   - FailRename: the final rename fails (crash between close and
+//     rename). TornRename additionally deletes the temp file first,
+//     simulating a crash where the temp never became durable either.
+//
+// Counters record how far the protocol got, so tests can assert both
+// the failure and the cleanup.
+type Faults struct {
+	FailCreate      bool
+	ShortWriteAfter int // <0: no limit; >=0: fail writes past this many bytes
+	FailSync        bool
+	FailRename      bool
+	TornRename      bool
+
+	Creates int // temp files created
+	Renames int // renames attempted
+	Removes int // removals attempted (cleanup)
+
+	written int
+}
+
+// NewFaults returns a Faults with no fault armed (ShortWriteAfter
+// disabled rather than zero, which would fail the first byte).
+func NewFaults() *Faults {
+	return &Faults{ShortWriteAfter: -1}
+}
+
+// CreateTemp implements FS.
+func (fl *Faults) CreateTemp(dir, pattern string) (File, error) {
+	if fl.FailCreate {
+		return nil, errors.Join(ErrInjected, errors.New("create refused"))
+	}
+	f, err := OS{}.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	fl.Creates++
+	return &faultFile{File: f, fl: fl}, nil
+}
+
+// Rename implements FS.
+func (fl *Faults) Rename(oldpath, newpath string) error {
+	fl.Renames++
+	if fl.TornRename {
+		// A crash mid-rename: the temp file is gone and the target was
+		// never replaced.
+		os := OS{}
+		os.Remove(oldpath)
+		return errors.Join(ErrInjected, errors.New("rename torn"))
+	}
+	if fl.FailRename {
+		return errors.Join(ErrInjected, errors.New("rename refused"))
+	}
+	return OS{}.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (fl *Faults) Remove(name string) error {
+	fl.Removes++
+	return OS{}.Remove(name)
+}
+
+// faultFile wraps a real temp file, cutting writes short and failing
+// sync according to the owning Faults.
+type faultFile struct {
+	File
+	fl *Faults
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fl := f.fl
+	if fl.ShortWriteAfter >= 0 {
+		room := fl.ShortWriteAfter - fl.written
+		if room <= 0 {
+			return 0, errors.Join(ErrInjected, io.ErrShortWrite)
+		}
+		if room < len(p) {
+			n, _ := f.File.Write(p[:room])
+			fl.written += n
+			return n, errors.Join(ErrInjected, io.ErrShortWrite)
+		}
+	}
+	n, err := f.File.Write(p)
+	fl.written += n
+	return n, err
+}
+
+func (f *faultFile) Sync() error {
+	if f.fl.FailSync {
+		return errors.Join(ErrInjected, errors.New("sync refused"))
+	}
+	return f.File.Sync()
+}

@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"strings"
+	"trajpattern/internal/faultio"
 )
 
 // This file exports a tracer's records in the Chrome trace-event format
@@ -78,19 +78,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	return nil
 }
 
-// WriteChromeTraceFile writes the Chrome trace-event JSON to path. No-op
-// on a nil tracer.
+// WriteChromeTraceFile writes the Chrome trace-event JSON to path
+// atomically (temp file + fsync + rename). No-op on a nil tracer.
 func (t *Tracer) WriteChromeTraceFile(path string) error {
 	if t == nil {
 		return nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	if err := t.WriteChromeTrace(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return faultio.WriteFileAtomic(nil, path, t.WriteChromeTrace)
 }

@@ -26,11 +26,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+	"trajpattern/internal/faultio"
 )
 
 // Attrs carries the structured payload of a span or event. Values must be
@@ -269,18 +269,12 @@ func (t *Tracer) Journal(w io.Writer) error {
 	return nil
 }
 
-// JournalFile writes the JSONL journal to path. No-op on a nil tracer.
+// JournalFile writes the JSONL journal to path atomically (temp file +
+// fsync + rename), so an interrupted flush never leaves a torn journal.
+// No-op on a nil tracer.
 func (t *Tracer) JournalFile(path string) error {
 	if t == nil {
 		return nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	if err := t.Journal(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return faultio.WriteFileAtomic(nil, path, t.Journal)
 }

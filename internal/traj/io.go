@@ -2,10 +2,13 @@ package traj
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+
+	"trajpattern/internal/faultio"
 )
 
 // The on-disk format is JSON lines: one trajectory per line, encoded as an
@@ -26,49 +29,103 @@ func Write(w io.Writer, d Dataset) error {
 	return bw.Flush()
 }
 
-// Read decodes a dataset from r. Blank lines are skipped. Each trajectory
-// is validated structurally (finite coordinates, non-negative sigmas).
-func Read(r io.Reader) (Dataset, error) {
-	var d Dataset
-	dec := json.NewDecoder(r)
-	for i := 0; ; i++ {
-		var t Trajectory
-		if err := dec.Decode(&t); err != nil {
-			if err == io.EOF {
-				break
+// decoder reads JSONL trajectories line by line, tracking the 1-based
+// line number and record (non-blank line) count so errors pinpoint the
+// offending input: "traj: data.jsonl:7: record 5: ...". path is empty
+// for in-memory readers, which report the line number alone.
+type decoder struct {
+	br   *bufio.Reader
+	path string
+	line int // 1-based line of the record being decoded
+	rec  int // 1-based count of non-blank records seen
+}
+
+// errf prefixes an error with the decoder's position.
+func (d *decoder) errf(format string, args ...any) error {
+	pos := fmt.Sprintf("line %d", d.line)
+	if d.path != "" {
+		pos = fmt.Sprintf("%s:%d", d.path, d.line)
+	}
+	return fmt.Errorf("traj: %s: record %d: %w", pos, d.rec, fmt.Errorf(format, args...))
+}
+
+// next decodes the next trajectory, skipping blank lines, and returns
+// (nil, nil) at end of input. Each trajectory is validated structurally
+// (finite coordinates, non-negative sigmas).
+func (d *decoder) next() (Trajectory, error) {
+	for {
+		raw, rerr := d.br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			d.line++
+			d.rec++
+			return nil, d.errf("read: %v", rerr)
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			if rerr == io.EOF {
+				return nil, nil
 			}
-			return nil, fmt.Errorf("traj: decoding trajectory %d: %w", i, err)
+			d.line++
+			continue // blank line
+		}
+		d.line++
+		d.rec++
+		var t Trajectory
+		if err := json.Unmarshal(raw, &t); err != nil {
+			return nil, d.errf("decoding trajectory: %v", err)
 		}
 		if err := t.Validate(); err != nil {
-			return nil, fmt.Errorf("traj: trajectory %d: %w", i, err)
+			return nil, d.errf("invalid trajectory: %v", err)
 		}
-		d = append(d, t)
+		return t, nil
 	}
-	return d, nil
 }
 
-// WriteFile writes the dataset to the named file, creating or truncating it.
-func WriteFile(path string, d Dataset) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("traj: %w", err)
-	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("traj: closing %s: %w", path, cerr)
+// Read decodes a dataset from r. Blank lines are skipped. Errors carry
+// the 1-based line and record number of the offending input.
+func Read(r io.Reader) (Dataset, error) {
+	d := decoder{br: bufio.NewReader(r)}
+	var out Dataset
+	for {
+		t, err := d.next()
+		if err != nil {
+			return nil, err
 		}
-	}()
-	return Write(f, d)
+		if t == nil {
+			return out, nil
+		}
+		out = append(out, t)
+	}
 }
 
-// ReadFile reads a dataset from the named file.
+// WriteFile writes the dataset to the named file atomically (temp file +
+// fsync + rename): path always holds either its previous contents or the
+// complete dataset, never a torn file.
+func WriteFile(path string, d Dataset) error {
+	return faultio.WriteFileAtomic(nil, path, func(w io.Writer) error {
+		return Write(w, d)
+	})
+}
+
+// ReadFile reads a dataset from the named file. Errors carry the file
+// path and the 1-based line and record number of the offending input.
 func ReadFile(path string) (Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("traj: %w", err)
 	}
 	defer f.Close()
-	return Read(f)
+	d := decoder{br: bufio.NewReader(f), path: path}
+	var out Dataset
+	for {
+		t, err := d.next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		out = append(out, t)
+	}
 }
 
 // Reader streams trajectories from a JSON-lines file one at a time,
@@ -76,8 +133,7 @@ func ReadFile(path string) (Dataset, error) {
 // constant memory (the access pattern §4.4 of the paper relies on).
 type Reader struct {
 	f   *os.File
-	dec *json.Decoder
-	n   int
+	dec decoder
 }
 
 // OpenReader opens the named dataset file for streaming.
@@ -86,23 +142,13 @@ func OpenReader(path string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("traj: %w", err)
 	}
-	return &Reader{f: f, dec: json.NewDecoder(bufio.NewReader(f))}, nil
+	return &Reader{f: f, dec: decoder{br: bufio.NewReader(f), path: path}}, nil
 }
 
-// Next returns the next trajectory, or (nil, nil) at end of file.
+// Next returns the next trajectory, or (nil, nil) at end of file. Errors
+// carry the file path and the 1-based line and record number.
 func (r *Reader) Next() (Trajectory, error) {
-	var t Trajectory
-	if err := r.dec.Decode(&t); err != nil {
-		if err == io.EOF {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("traj: decoding trajectory %d: %w", r.n, err)
-	}
-	if err := t.Validate(); err != nil {
-		return nil, fmt.Errorf("traj: trajectory %d: %w", r.n, err)
-	}
-	r.n++
-	return t, nil
+	return r.dec.next()
 }
 
 // Close releases the underlying file.

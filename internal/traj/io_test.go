@@ -50,6 +50,36 @@ func TestReadRejectsInvalid(t *testing.T) {
 	if _, err := Read(strings.NewReader("not json")); err == nil {
 		t.Error("garbage accepted")
 	}
+
+	// Errors name the 1-based line and record of the offending input so
+	// a corrupt row in a million-line file is findable. The bad row here
+	// is on line 4 but is only the 3rd record (line 2 is blank).
+	good := `[{"mean":{"X":0,"Y":0},"sigma":1}]`
+	in = good + "\n\n" + good + "\n" + "not json" + "\n" + good + "\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("garbage row accepted")
+	}
+	for _, want := range []string{"line 4", "record 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// File-backed reads additionally name the path.
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := writeRaw(path, in); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadFile(path)
+	if err == nil {
+		t.Fatal("garbage row accepted from file")
+	}
+	for _, want := range []string{path + ":4", "record 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("file error %q does not mention %q", err, want)
+		}
+	}
 }
 
 func TestReadEmpty(t *testing.T) {

@@ -1,8 +1,10 @@
-// Trajlint is the repo's static-analysis suite: four go/analysis analyzers
+// Trajlint is the repo's static-analysis suite: five go/analysis analyzers
 // that enforce the reproduction's project-specific invariants — nil-safe
 // instrumentation handles (nilguard), bit-deterministic work in the gated
 // packages (determinism), tolerance-based float comparison in the numeric
-// packages (floatcmp), and leak-free file/cursor lifecycles (closepair).
+// packages (floatcmp), leak-free file/cursor lifecycles (closepair), and
+// first-parameter, never-stored context.Context plumbing in the
+// cancellable packages (ctxfirst).
 //
 // It is a unitchecker binary, driven by the go command:
 //
@@ -20,6 +22,7 @@ import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"trajpattern/tools/analyzers/closepair"
+	"trajpattern/tools/analyzers/ctxfirst"
 	"trajpattern/tools/analyzers/determinism"
 	"trajpattern/tools/analyzers/floatcmp"
 	"trajpattern/tools/analyzers/nilguard"
@@ -31,5 +34,6 @@ func main() {
 		determinism.Analyzer,
 		floatcmp.Analyzer,
 		closepair.Analyzer,
+		ctxfirst.Analyzer,
 	)
 }

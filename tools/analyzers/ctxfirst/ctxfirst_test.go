@@ -1,0 +1,19 @@
+package ctxfirst_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"trajpattern/tools/analyzers/ctxfirst"
+	"trajpattern/tools/analyzers/internal/checktest"
+)
+
+func TestCtxFirst(t *testing.T) {
+	checktest.Run(t, ctxfirst.Analyzer,
+		filepath.Join("testdata", "src", "core"), "trajpattern/internal/core")
+}
+
+func TestCtxFirstOutsideScope(t *testing.T) {
+	checktest.Run(t, ctxfirst.Analyzer,
+		filepath.Join("testdata", "src", "outside"), "trajpattern/internal/obs")
+}

@@ -1,0 +1,68 @@
+// Fixture for the ctxfirst analyzer: Context placement in parameters,
+// structs and interfaces.
+package core
+
+import "context"
+
+// --- parameter position ---
+
+func mineOK(ctx context.Context, k int) error { _ = ctx; _ = k; return nil }
+
+func mineNoCtx(k int) int { return k }
+
+func mineBad(k int, ctx context.Context) error { // want `context.Context is parameter 2 of mineBad`
+	_ = ctx
+	return nil
+}
+
+func mineTrailing(a, b int, ctx context.Context) { // want `context.Context is parameter 3 of mineTrailing`
+	_, _, _ = a, b, ctx
+}
+
+type scorer struct{ n int }
+
+func (s *scorer) scoreOK(ctx context.Context, xs []int) { _ = ctx; _ = xs }
+
+func (s *scorer) scoreBad(xs []int, ctx context.Context) { // want `context.Context is parameter 2 of scoreBad`
+	_ = ctx
+	_ = xs
+}
+
+// --- struct fields ---
+
+type runner struct {
+	ctx context.Context // want `context.Context stored in a struct \(field ctx\)`
+	n   int
+}
+
+type embedder struct {
+	context.Context // want `context.Context stored in a struct \(embedded field\)`
+}
+
+type clean struct{ n int }
+
+// --- interface methods ---
+
+type cursorOK interface {
+	Next(ctx context.Context) (int, error)
+}
+
+type cursorBad interface {
+	Next(n int, ctx context.Context) error // want `context.Context is parameter 2 of Next`
+}
+
+// --- documented exemptions ---
+
+//trajlint:allow ctxfirst -- fixture: legacy callback shape kept for compatibility
+func legacy(n int, ctx context.Context) { _, _ = n, ctx }
+
+type holder struct {
+	ctx context.Context //trajlint:allow ctxfirst -- fixture: short-lived builder consumed on the same call stack
+}
+
+var _ = runner{}
+var _ = embedder{}
+var _ = clean{}
+var _ = holder{}
+var _ cursorOK
+var _ cursorBad

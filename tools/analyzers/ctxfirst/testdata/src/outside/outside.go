@@ -1,0 +1,11 @@
+// Fixture proving ctxfirst only applies inside the configured packages:
+// code outside the cancellable layers may shape signatures freely.
+package outside
+
+import "context"
+
+func free(n int, ctx context.Context) { _, _ = n, ctx }
+
+type keeper struct{ ctx context.Context }
+
+var _ = keeper{}

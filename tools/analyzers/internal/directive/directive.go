@@ -92,8 +92,8 @@ func NewIndex(pass *analysis.Pass, name string) *Index {
 }
 
 // knownAnalyzers lets a malformed directive that still names an analyzer be
-// reported exactly once (by that analyzer) instead of by all four.
-var knownAnalyzers = []string{"nilguard", "determinism", "floatcmp", "closepair"}
+// reported exactly once (by that analyzer) instead of by all five.
+var knownAnalyzers = []string{"nilguard", "determinism", "floatcmp", "closepair", "ctxfirst"}
 
 func namesAnyAnalyzer(text string) bool {
 	for _, a := range knownAnalyzers {

@@ -16,7 +16,7 @@
 //		Delta: g.CellWidth(),
 //	})
 //	if err != nil { ... }
-//	res, err := trajpattern.Mine(scorer, trajpattern.MinerConfig{K: 10})
+//	res, err := trajpattern.Mine(ctx, scorer, trajpattern.MinerConfig{K: 10})
 //	if err != nil { ... }
 //	groups, err := trajpattern.DiscoverGroups(patternsOf(res), g,
 //		trajpattern.DefaultGamma(ds.MeanSigma()))
@@ -31,6 +31,8 @@
 package trajpattern
 
 import (
+	"context"
+
 	"trajpattern/internal/baseline"
 	"trajpattern/internal/classify"
 	"trajpattern/internal/core"
@@ -140,14 +142,20 @@ const Wildcard = core.Wildcard
 // NewScorer indexes a dataset for match/NM evaluation.
 func NewScorer(d Dataset, cfg ScorerConfig) (*Scorer, error) { return core.NewScorer(d, cfg) }
 
-// Mine runs the TrajPattern algorithm: top-k patterns by NM.
-func Mine(s *Scorer, cfg MinerConfig) (*MineResult, error) { return core.Mine(s, cfg) }
+// Mine runs the TrajPattern algorithm: top-k patterns by NM. Cancelling
+// ctx (or setting MinerConfig.MaxWallTime) interrupts the run gracefully:
+// the result carries the best-so-far top-k with MineResult.Interrupted
+// set rather than an error. See MinerConfig.CheckpointPath and
+// MinerConfig.Resume for crash-safe checkpointing of long runs.
+func Mine(ctx context.Context, s *Scorer, cfg MinerConfig) (*MineResult, error) {
+	return core.Mine(ctx, s, cfg)
+}
 
 // MineWithWildcards runs Mine and then the Section 5 wildcard refinement:
 // up to maxRun "*" symbols are inserted wherever that improves a mined
 // pattern's NM, and the refined set is re-ranked.
-func MineWithWildcards(s *Scorer, cfg MinerConfig, maxRun int) ([]ScoredWildPattern, *MineResult, error) {
-	return core.MineWithWildcards(s, cfg, maxRun)
+func MineWithWildcards(ctx context.Context, s *Scorer, cfg MinerConfig, maxRun int) ([]ScoredWildPattern, *MineResult, error) {
+	return core.MineWithWildcards(ctx, s, cfg, maxRun)
 }
 
 // DiscoverGroups clusters patterns into pattern groups (§4.2).
@@ -214,9 +222,10 @@ func LoadPatterns(path string, validate func(Pattern) error) ([]ScoredPattern, e
 }
 
 // StreamNM evaluates patterns against a dataset streamed from a JSON-lines
-// file in one pass with constant memory (§4.4).
-func StreamNM(path string, cfg ScorerConfig, patterns []Pattern) ([]float64, error) {
-	return core.StreamNM(core.NewFileCursor(path), cfg, patterns)
+// file in one pass with constant memory (§4.4). Cancelling ctx interrupts
+// the scan between records and returns an error.
+func StreamNM(ctx context.Context, path string, cfg ScorerConfig, patterns []Pattern) ([]float64, error) {
+	return core.StreamNM(ctx, core.NewFileCursor(path), cfg, patterns)
 }
 
 // DefaultGamma is the paper's recommended group distance γ = 3σ̄.
@@ -348,9 +357,11 @@ type (
 	ClassifierConfig = classify.Config
 )
 
-// TrainClassifier mines a top-k pattern set per labeled class.
-func TrainClassifier(classes map[string]Dataset, cfg ClassifierConfig) (*Classifier, error) {
-	return classify.Train(classes, cfg)
+// TrainClassifier mines a top-k pattern set per labeled class. ctx
+// cancellation interrupts the per-class mining runs gracefully; the
+// classifier is then trained on each class's best-so-far patterns.
+func TrainClassifier(ctx context.Context, classes map[string]Dataset, cfg ClassifierConfig) (*Classifier, error) {
+	return classify.Train(ctx, classes, cfg)
 }
 
 // BoxProb is the paper's Prob(l, σ, p, δ) under the default box

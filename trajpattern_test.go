@@ -1,6 +1,7 @@
 package trajpattern_test
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -42,7 +43,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := trajpattern.Mine(scorer, trajpattern.MinerConfig{K: 5, MaxLen: 4, MaxLowQ: 20})
+	res, err := trajpattern.Mine(context.Background(), scorer, trajpattern.MinerConfig{K: 5, MaxLen: 4, MaxLowQ: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestFacadeBaselinesAgree(t *testing.T) {
 		}
 		return s
 	}
-	tp, err := trajpattern.Mine(mk(), trajpattern.MinerConfig{K: 5, MaxLen: 3})
+	tp, err := trajpattern.Mine(context.Background(), mk(), trajpattern.MinerConfig{K: 5, MaxLen: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
