@@ -1,0 +1,32 @@
+package core
+
+import "fmt"
+
+// ConfigError reports an invalid field of a configuration struct
+// (ScorerConfig, MinerConfig, or the pattern-group parameters). It is a
+// caller error, not an internal failure: CLIs print it as a usage message
+// and trajserve maps it to a 400 response instead of letting a poisoned
+// value (NaN δ, zero-cell grid, k < 1) panic deep inside the miner or
+// silently corrupt scores. Test with errors.As:
+//
+//	var ce *core.ConfigError
+//	if errors.As(err, &ce) { ... 400, not 500 ... }
+type ConfigError struct {
+	// Struct names the configuration being validated ("ScorerConfig",
+	// "MinerConfig", "Groups").
+	Struct string
+	// Field names the offending field ("Delta", "K", "Gamma", ...).
+	Field string
+	// Reason describes the problem, including the rejected value.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid %s.%s: %s", e.Struct, e.Field, e.Reason)
+}
+
+// cfgErr builds a *ConfigError with a formatted reason.
+func cfgErr(strct, field, format string, args ...any) *ConfigError {
+	return &ConfigError{Struct: strct, Field: field, Reason: fmt.Sprintf(format, args...)}
+}

@@ -1,9 +1,77 @@
 package core
 
 import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// FuzzLoadPatterns checks that the pattern-file decoder never panics on
+// arbitrary input and that everything it accepts is structurally safe to
+// serve (non-empty patterns, non-negative cells, finite NM) and re-encodes
+// stably. Seeds come from testdata so the corpus starts at realistic
+// on-disk shapes.
+func FuzzLoadPatterns(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "fuzz_patterns_*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no testdata pattern seeds")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"version":1,"patterns":[]}`)
+	f.Add(`{"version":1,"patterns":[{"cells":[-1],"nm":0}]}`)
+	f.Add(`{"version":1,"patterns":[{"cells":[],"nm":0}]}`)
+	f.Add(`{"version":2,"patterns":[{"cells":[1],"nm":0}]}`)
+	f.Add(`{"version":1,"patterns":[{"cells":[1],"nm":1e400}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		pats, err := ReadPatterns(strings.NewReader(in), nil)
+		if err != nil {
+			return
+		}
+		for i, sp := range pats {
+			if len(sp.Pattern) == 0 {
+				t.Fatalf("accepted empty pattern at %d", i)
+			}
+			for j, c := range sp.Pattern {
+				if c < 0 {
+					t.Fatalf("accepted negative cell at [%d][%d]: %d", i, j, c)
+				}
+			}
+			if math.IsNaN(sp.NM) || math.IsInf(sp.NM, 0) {
+				t.Fatalf("accepted non-finite NM at %d: %v", i, sp.NM)
+			}
+		}
+		var out bytes.Buffer
+		if err := WritePatterns(&out, pats); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		pats2, err := ReadPatterns(&out, nil)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(pats2) != len(pats) {
+			t.Fatalf("round trip changed pattern count: %d vs %d", len(pats2), len(pats))
+		}
+		for i := range pats {
+			if !pats[i].Pattern.Equal(pats2[i].Pattern) || pats[i].NM != pats2[i].NM {
+				t.Fatalf("round trip changed pattern %d", i)
+			}
+		}
+	})
+}
 
 // FuzzParsePattern checks that ParsePattern never panics and that every
 // successfully parsed key round-trips exactly.

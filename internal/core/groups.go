@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"trajpattern/internal/grid"
@@ -106,8 +107,10 @@ func DiscoverGroupsTraced(patterns []Pattern, g *grid.Grid, gamma float64, tr *t
 
 // discoverGroups is the untraced §4.2 procedure.
 func discoverGroups(patterns []Pattern, g *grid.Grid, gamma float64) ([]Group, error) {
-	if gamma < 0 {
-		return nil, fmt.Errorf("core: negative gamma %v", gamma)
+	// NaN fails every comparison (a NaN γ would pass `< 0` and make every
+	// similarity test false), so reject it explicitly.
+	if math.IsNaN(gamma) || gamma < 0 {
+		return nil, cfgErr("Groups", "Gamma", "must be >= 0 and not NaN, got %v", gamma)
 	}
 	byLen := make(map[int][]Pattern)
 	for i, p := range patterns {

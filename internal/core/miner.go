@@ -151,21 +151,30 @@ func (c MinerConfig) withDefaults() MinerConfig {
 	return c
 }
 
+// validate rejects miner configurations up front with typed *ConfigError
+// values, so CLIs and trajserve surface a clean caller-error message
+// instead of a deep panic or silent garbage.
 func (c MinerConfig) validate() error {
 	if c.K <= 0 {
-		return fmt.Errorf("core: MinerConfig.K must be > 0, got %d", c.K)
+		return cfgErr("MinerConfig", "K", "must be > 0, got %d", c.K)
 	}
-	if c.MaxLen < 0 || c.MaxIters < 0 || c.MaxLowQ < 0 {
-		return fmt.Errorf("core: negative MaxLen/MaxIters/MaxLowQ")
+	if c.MaxLen < 0 {
+		return cfgErr("MinerConfig", "MaxLen", "must be >= 0, got %d", c.MaxLen)
+	}
+	if c.MaxIters < 0 {
+		return cfgErr("MinerConfig", "MaxIters", "must be >= 0, got %d", c.MaxIters)
+	}
+	if c.MaxLowQ < 0 {
+		return cfgErr("MinerConfig", "MaxLowQ", "must be >= 0, got %d", c.MaxLowQ)
 	}
 	if c.MaxWallTime < 0 {
-		return fmt.Errorf("core: negative MaxWallTime")
+		return cfgErr("MinerConfig", "MaxWallTime", "must be >= 0, got %v", c.MaxWallTime)
 	}
 	if c.Resume != nil && c.Resume.Version != CheckpointVersion {
 		return fmt.Errorf("core: resume checkpoint version %d, want %d", c.Resume.Version, CheckpointVersion)
 	}
 	if c.MinLen > c.MaxLen && c.MaxLen != 0 {
-		return fmt.Errorf("core: MinLen %d exceeds MaxLen %d", c.MinLen, c.MaxLen)
+		return cfgErr("MinerConfig", "MinLen", "%d exceeds MaxLen %d", c.MinLen, c.MaxLen)
 	}
 	return nil
 }

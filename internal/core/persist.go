@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"trajpattern/internal/faultio"
@@ -59,6 +60,18 @@ func ReadPatterns(r io.Reader, validate func(Pattern) error) ([]ScoredPattern, e
 	for i, sp := range f.Patterns {
 		if len(sp.Cells) == 0 {
 			return nil, fmt.Errorf("core: pattern %d is empty", i)
+		}
+		// Structural floor applied even with no validate callback: a
+		// negative cell index is out of every grid and would panic the
+		// scorer, and a non-finite NM poisons every ranking comparison
+		// (found by FuzzLoadPatterns).
+		for j, c := range sp.Cells {
+			if c < 0 {
+				return nil, fmt.Errorf("core: pattern %d: cell %d is negative (%d)", i, j, c)
+			}
+		}
+		if math.IsNaN(sp.NM) || math.IsInf(sp.NM, 0) {
+			return nil, fmt.Errorf("core: pattern %d: non-finite NM %v", i, sp.NM)
 		}
 		p := Pattern(sp.Cells)
 		if validate != nil {

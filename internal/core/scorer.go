@@ -89,15 +89,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// validate rejects configurations that would panic deep in the scorer or
+// silently poison every score. All failures are *ConfigError so callers
+// (CLIs, trajserve) can distinguish caller mistakes from internal faults.
 func (c Config) validate() error {
 	if c.Grid == nil {
-		return fmt.Errorf("core: Config.Grid is required")
+		return cfgErr("ScorerConfig", "Grid", "required")
+	}
+	if c.Grid.NumCells() <= 0 {
+		return cfgErr("ScorerConfig", "Grid", "non-positive cell count %d×%d", c.Grid.NX(), c.Grid.NY())
+	}
+	// NaN fails every comparison, so test it explicitly: a NaN δ would
+	// sail through `<= 0` and turn every probability into NaN.
+	if math.IsNaN(c.Delta) || math.IsInf(c.Delta, 0) {
+		return cfgErr("ScorerConfig", "Delta", "must be finite, got %v", c.Delta)
 	}
 	if c.Delta <= 0 {
-		return fmt.Errorf("core: Config.Delta must be > 0, got %v", c.Delta)
+		return cfgErr("ScorerConfig", "Delta", "must be > 0, got %v", c.Delta)
 	}
-	if c.LogFloor > 0 {
-		return fmt.Errorf("core: Config.LogFloor must be <= 0, got %v", c.LogFloor)
+	if math.IsNaN(c.LogFloor) || c.LogFloor > 0 {
+		return cfgErr("ScorerConfig", "LogFloor", "must be <= 0 and not NaN, got %v", c.LogFloor)
 	}
 	return nil
 }

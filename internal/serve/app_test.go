@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"trajpattern/internal/cli"
+)
+
+// TestRunSigtermDrain is the trajserve shutdown contract end to end: a
+// request is held in flight (its body deliberately incomplete), SIGTERM
+// arrives, the listener refuses new connections while the in-flight
+// request is allowed to finish and receives its full 200, Run returns
+// nil (exit 0), and no goroutines are left behind.
+func TestRunSigtermDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, stop := cli.SignalContext(context.Background(), io.Discard, "trajserve-test")
+	defer stop()
+
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- Run(ctx, Options{
+			Addr:    "127.0.0.1:0",
+			Dataset: testDataset(),
+			Server:  Config{GridN: 6},
+			Grace:   10 * time.Second,
+			Log:     io.Discard,
+		}, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("Run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Liveness before the storm.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Hold a request in flight deterministically: send the headers and
+	// half the JSON body, then stall. The handler is admitted and blocks
+	// reading the rest — in-flight by construction, no timing games.
+	body := `{"patterns":[[1,2]]}`
+	half := len(body) / 2
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/score HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		len(body), body[:half])
+
+	// SIGTERM: stage one of the drain must close the listener while the
+	// held request stays alive.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	refused := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err != nil {
+			refused = true
+			break
+		}
+		// Accepted: either the listener has not closed yet, or the OS
+		// queued the connection before close. Probe with a request.
+		c.Close()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !refused {
+		t.Fatal("listener still accepting connections after SIGTERM")
+	}
+	select {
+	case err := <-runErr:
+		t.Fatalf("Run returned %v with a request still in flight", err)
+	default:
+	}
+
+	// Complete the held request: it must finish with a full, valid 200.
+	if _, err := io.WriteString(conn, body[half:]); err != nil {
+		t.Fatalf("finishing in-flight body: %v", err)
+	}
+	br := bufio.NewReader(conn)
+	httpResp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatalf("in-flight response: %v", err)
+	}
+	payload, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		t.Fatalf("in-flight body: %v", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200: %s", httpResp.StatusCode, payload)
+	}
+	if !strings.Contains(string(payload), `"scores"`) {
+		t.Fatalf("in-flight response torn or wrong: %s", payload)
+	}
+	conn.Close()
+
+	// With the last request done, Run must come home clean: exit 0.
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run = %v, want nil after graceful drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Run did not return after the drain finished")
+	}
+
+	stop()
+	http.DefaultClient.CloseIdleConnections()
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+3 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after drain: before=%d now=%d\n%s", before, now, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestRunGraceExpiryInterrupts proves stage two: when in-flight work
+// outlives the grace, its context is cancelled and Run still returns
+// cleanly instead of hanging forever on a wedged request.
+func TestRunGraceExpiryInterrupts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- Run(ctx, Options{
+			Addr:    "127.0.0.1:0",
+			Dataset: testDataset(),
+			Server:  Config{GridN: 6},
+			Grace:   200 * time.Millisecond,
+			Log:     io.Discard,
+		}, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("Run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Wedge a request: headers sent, body never completed, client never
+	// going to finish it.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/score HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n{")
+
+	time.Sleep(50 * time.Millisecond) // let the handler be admitted
+	cancel()                          // the "SIGTERM"
+
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run = %v, want nil after forced drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Run hung on a wedged request despite grace expiry")
+	}
+}
+
+// TestRunRejectsBadOptions covers the startup failure paths: they must
+// fail fast with errors, not serve broken state.
+func TestRunRejectsBadOptions(t *testing.T) {
+	if err := Run(context.Background(), Options{Addr: "127.0.0.1:0"}, nil); err == nil {
+		t.Error("no dataset accepted")
+	}
+	if err := Run(context.Background(), Options{
+		Addr:     "127.0.0.1:0",
+		DataPath: "/nonexistent/nope.jsonl",
+	}, nil); err == nil {
+		t.Error("missing data file accepted")
+	}
+	if err := Run(context.Background(), Options{
+		Addr:         "127.0.0.1:0",
+		Dataset:      testDataset(),
+		PatternsPath: "/nonexistent/pats.json",
+	}, nil); err == nil {
+		t.Error("missing patterns file accepted")
+	}
+	if err := Run(context.Background(), Options{
+		Addr:    "not-an-address:-1",
+		Dataset: testDataset(),
+	}, nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

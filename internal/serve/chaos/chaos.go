@@ -1,0 +1,210 @@
+// Package chaos provides fault-injecting HTTP plumbing for testing the
+// trajserve robustness guarantees, the network-side sibling of
+// internal/faultio: a RoundTripper that drops, stalls, or tears responses
+// with configured probabilities, and handler fixtures that are slow, hang
+// until cancelled, or emit torn JSON. Faults draw from a deterministic
+// stat.RNG, so a failing soak run replays byte-for-byte from its seed.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"trajpattern/internal/stat"
+)
+
+// ErrInjectedDisconnect is the error surfaced by a Transport-injected
+// connection drop, standing in for a peer reset or mid-flight network cut.
+var ErrInjectedDisconnect = errors.New("chaos: injected disconnect")
+
+// Transport is an http.RoundTripper that injects faults in front of an
+// inner transport. Each request independently draws from the RNG:
+// disconnect before any bytes move, stall before forwarding, or tear the
+// response body after a byte prefix. Probabilities are checked in that
+// order; a request suffers at most one fault.
+//
+// The zero value (and a nil *Transport) injects nothing and uses
+// http.DefaultTransport.
+type Transport struct {
+	// Inner handles the request when no disconnect fires. Defaults to
+	// http.DefaultTransport.
+	Inner http.RoundTripper
+
+	// PDisconnect is the probability of failing the request with
+	// ErrInjectedDisconnect without forwarding it.
+	PDisconnect float64
+
+	// PStall is the probability of sleeping Stall (honouring request
+	// cancellation) before forwarding — modelling a congested path rather
+	// than a dead one.
+	PStall float64
+	Stall  time.Duration
+
+	// PTornBody is the probability of truncating the response body after
+	// TornBytes bytes, closing the inner body, and reporting
+	// ErrInjectedDisconnect from the reader — a mid-body connection loss
+	// that a JSON decoder must reject rather than half-parse.
+	PTornBody float64
+	TornBytes int
+
+	// RNG drives all fault draws. Required when any probability is
+	// positive; guarded by an internal mutex so one Transport serves
+	// concurrent requests.
+	RNG *stat.RNG
+
+	mu       sync.Mutex
+	injected int64
+}
+
+// Injected returns how many faults this transport has fired (0 on nil).
+func (t *Transport) Injected() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected
+}
+
+// draw samples one uniform float under the mutex, so concurrent requests
+// never race the RNG state.
+func (t *Transport) draw() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.RNG == nil {
+		return 1 // never below any probability: no faults
+	}
+	return t.RNG.Float64()
+}
+
+func (t *Transport) count() {
+	t.mu.Lock()
+	t.injected++
+	t.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t == nil {
+		return http.DefaultTransport.RoundTrip(req)
+	}
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if t.PDisconnect > 0 && t.draw() < t.PDisconnect {
+		t.count()
+		return nil, fmt.Errorf("chaos: %s %s: %w", req.Method, req.URL.Path, ErrInjectedDisconnect)
+	}
+	if t.PStall > 0 && t.Stall > 0 && t.draw() < t.PStall {
+		t.count()
+		timer := time.NewTimer(t.Stall)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, fmt.Errorf("chaos: stalled %s %s: %w",
+				req.Method, req.URL.Path, context.Cause(req.Context()))
+		}
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.PTornBody > 0 && t.draw() < t.PTornBody {
+		t.count()
+		resp.Body = &tornBody{inner: resp.Body, remaining: t.TornBytes}
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// tornBody passes through at most remaining bytes, then reports an
+// injected disconnect instead of io.EOF so the client sees a mid-body
+// connection loss, not a clean end of message.
+type tornBody struct {
+	inner     io.ReadCloser
+	remaining int
+	closed    bool
+}
+
+// Read implements io.Reader.
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b == nil {
+		return 0, io.EOF
+	}
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("chaos: response torn: %w", ErrInjectedDisconnect)
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if errors.Is(err, io.EOF) && b.remaining <= 0 {
+		// The truncation point landed past the real body; still report the
+		// tear so the injection is observable.
+		err = fmt.Errorf("chaos: response torn: %w", ErrInjectedDisconnect)
+	}
+	return n, err
+}
+
+// Close implements io.Closer.
+func (b *tornBody) Close() error {
+	if b == nil {
+		return nil
+	}
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	return b.inner.Close()
+}
+
+// SlowHandler wraps h to sleep d before serving, honouring request
+// cancellation — the fixture for handlers that are alive but too slow for
+// the caller's deadline.
+func SlowHandler(d time.Duration, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// HangingHandler blocks until the request context ends and writes nothing:
+// the fixture for a wedged backend. Deadline and disconnect handling must
+// make progress without any cooperation from it.
+func HangingHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+}
+
+// TornJSONHandler writes a 200 whose body is the first n bytes of a valid
+// JSON document and then returns, producing exactly the torn-payload shape
+// a robust client must reject. n larger than the document sends it whole.
+func TornJSONHandler(doc []byte, n int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n > len(doc) {
+			n = len(doc)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.Copy(w, bytes.NewReader(doc[:n]))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	})
+}

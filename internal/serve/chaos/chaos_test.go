@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"trajpattern/internal/stat"
+)
+
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true,"padding":"0123456789012345678901234567890123456789"}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestNilTransportPassesThrough(t *testing.T) {
+	srv := okServer(t)
+	var tr *Transport
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if tr.Injected() != 0 {
+		t.Error("nil transport counted injections")
+	}
+}
+
+func TestDisconnectInjection(t *testing.T) {
+	srv := okServer(t)
+	tr := &Transport{PDisconnect: 1, RNG: stat.NewRNG(1)}
+	client := &http.Client{Transport: tr}
+	_, err := client.Get(srv.URL)
+	if err == nil || !errors.Is(err, ErrInjectedDisconnect) {
+		t.Fatalf("err = %v, want injected disconnect", err)
+	}
+	if tr.Injected() != 1 {
+		t.Errorf("Injected = %d, want 1", tr.Injected())
+	}
+}
+
+func TestStallHonoursCancellation(t *testing.T) {
+	srv := okServer(t)
+	tr := &Transport{PStall: 1, Stall: time.Minute, RNG: stat.NewRNG(2)}
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("stalled request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v — stall not honouring ctx", elapsed)
+	}
+}
+
+func TestTornBodyBreaksJSONDecode(t *testing.T) {
+	srv := okServer(t)
+	tr := &Transport{PTornBody: 1, TornBytes: 5, RNG: stat.NewRNG(3)}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	derr := json.NewDecoder(resp.Body).Decode(&v)
+	if derr == nil {
+		t.Fatal("torn body decoded cleanly")
+	}
+	if !errors.Is(derr, ErrInjectedDisconnect) {
+		t.Logf("decode error (acceptable as long as it fails): %v", derr)
+	}
+}
+
+func TestTornBodyDoubleCloseSafe(t *testing.T) {
+	b := &tornBody{inner: io.NopCloser(strings.NewReader("xyz")), remaining: 1}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	// Same seed, same fault decisions: the soak test depends on replayable
+	// chaos.
+	run := func() []int64 {
+		srv := okServer(t)
+		tr := &Transport{PDisconnect: 0.5, RNG: stat.NewRNG(42)}
+		client := &http.Client{Transport: tr}
+		var counts []int64
+		for i := 0; i < 20; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			counts = append(counts, tr.Injected())
+		}
+		return counts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at request %d: %v vs %v", i, a, b)
+		}
+	}
+	if a[len(a)-1] == 0 || a[len(a)-1] == 20 {
+		t.Errorf("p=0.5 over 20 requests injected %d faults — draw looks broken", a[len(a)-1])
+	}
+}
+
+func TestSlowHandlerRespectsCancel(t *testing.T) {
+	h := SlowHandler(time.Minute, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("inner handler ran despite cancellation")
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow handler did not return after cancellation")
+	}
+}
+
+func TestSlowHandlerEventuallyServes(t *testing.T) {
+	served := false
+	h := SlowHandler(time.Millisecond, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served = true
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if !served {
+		t.Fatal("slow handler never served")
+	}
+}
+
+func TestHangingHandlerUnblocksOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		HangingHandler().ServeHTTP(httptest.NewRecorder(), req)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hanging handler did not unblock")
+	}
+}
+
+func TestTornJSONHandler(t *testing.T) {
+	doc := []byte(`{"patterns":[{"cells":[1,2],"nm":0.5}]}`)
+	rec := httptest.NewRecorder()
+	TornJSONHandler(doc, 10).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if got := rec.Body.String(); got != string(doc[:10]) {
+		t.Fatalf("body = %q, want first 10 bytes", got)
+	}
+	var v any
+	if json.Unmarshal(rec.Body.Bytes(), &v) == nil {
+		t.Fatal("torn JSON decoded cleanly")
+	}
+
+	// n past the end sends the whole document.
+	rec = httptest.NewRecorder()
+	TornJSONHandler(doc, 10_000).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Body.String() != string(doc) {
+		t.Fatal("oversized n truncated the document")
+	}
+}

@@ -1,0 +1,134 @@
+package guard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// PanicError reports a panic recovered inside an HTTP handler, the serving
+// counterpart of core.ScorePanicError: one poisoned request must not kill
+// the process or wedge the listener, so the panic is captured with its
+// stack as a typed value and answered as a 500.
+type PanicError struct {
+	Route string // the route whose handler panicked
+	Value any    // the recovered panic value
+	Stack string // goroutine stack captured at the recovery point
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	if e == nil {
+		return "guard: handler panicked"
+	}
+	return fmt.Sprintf("guard: handler for %s panicked: %v", e.Route, e.Value)
+}
+
+// Recover wraps h so a handler panic is recovered per request: the typed
+// *PanicError is handed to onPanic (nil is fine), and a 500 is written if
+// the handler had not started a response — a half-written response cannot
+// be rescued, so it is left for the client's decoder to reject.
+// http.ErrAbortHandler is re-panicked: it is net/http's own abort
+// protocol, not a handler fault.
+func Recover(route string, onPanic func(*PanicError), h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := NewStatusRecorder(w)
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			pe := &PanicError{Route: route, Value: v, Stack: string(debug.Stack())}
+			if onPanic != nil {
+				onPanic(pe)
+			}
+			if !sw.Wrote() {
+				http.Error(sw, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// WithDeadline wraps h so every request's context carries deadline d,
+// propagated into whatever the handler calls (the miner's context
+// plumbing interrupts at iteration boundaries). The cancellation cause
+// names the route so interrupt reasons in responses and traces say which
+// bound fired. d <= 0 leaves h untouched. A client disconnect already
+// cancels r.Context() via net/http; this adds the server-side bound on
+// top.
+func WithDeadline(route string, d time.Duration, h http.Handler) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeoutCause(r.Context(), d,
+			fmt.Errorf("guard: %s deadline %v exceeded", route, d))
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// StatusRecorder wraps a ResponseWriter and records whether and with what
+// status the response started, so middleware can decide after the handler
+// whether a 500 can still be written and metrics can count status
+// classes. All methods are safe on a nil receiver.
+type StatusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+// NewStatusRecorder wraps w. If w is already a *StatusRecorder it is
+// returned as is, so stacked middleware shares one recorder.
+func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
+	if sw, ok := w.(*StatusRecorder); ok {
+		return sw
+	}
+	return &StatusRecorder{ResponseWriter: w}
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (s *StatusRecorder) WriteHeader(code int) {
+	if s == nil {
+		return
+	}
+	if !s.wrote {
+		s.status = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// Write implements io.Writer, counting an implicit 200.
+func (s *StatusRecorder) Write(b []byte) (int, error) {
+	if s == nil {
+		return 0, fmt.Errorf("guard: Write on nil StatusRecorder")
+	}
+	if !s.wrote {
+		s.status = http.StatusOK
+		s.wrote = true
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// Status returns the first status written, or 0 if none yet (0 on nil).
+func (s *StatusRecorder) Status() int {
+	if s == nil {
+		return 0
+	}
+	return s.status
+}
+
+// Wrote reports whether the response has started (false on nil).
+func (s *StatusRecorder) Wrote() bool {
+	if s == nil {
+		return false
+	}
+	return s.wrote
+}

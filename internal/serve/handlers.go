@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"trajpattern/internal/core"
+	"trajpattern/internal/geom"
+	"trajpattern/internal/predict"
+)
+
+// ScoreRequest asks for the normalized match of each submitted pattern.
+type ScoreRequest struct {
+	Patterns [][]int `json:"patterns"`
+}
+
+// ScoredPatternJSON is one pattern with its NM score.
+type ScoredPatternJSON struct {
+	Cells []int   `json:"cells"`
+	NM    float64 `json:"nm"`
+}
+
+// ScoreResponse answers a ScoreRequest, scores in request order.
+type ScoreResponse struct {
+	Scores []ScoredPatternJSON `json:"scores"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req ScoreRequest
+	if err := readJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if len(req.Patterns) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "no patterns submitted")
+		return
+	}
+	pats := make([]core.Pattern, len(req.Patterns))
+	for i, cells := range req.Patterns {
+		if len(cells) == 0 {
+			s.writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("pattern %d is empty", i))
+			return
+		}
+		for _, c := range cells {
+			if c < 0 || c >= s.grid.NumCells() {
+				s.writeError(w, http.StatusBadRequest, "bad_request",
+					fmt.Sprintf("pattern %d: cell %d outside grid of %d cells", i, c, s.grid.NumCells()))
+				return
+			}
+		}
+		pats[i] = core.Pattern(cells)
+	}
+	scores, err := s.scorer.ScoreAll(r.Context(), pats)
+	if err != nil {
+		s.writeScoreError(w, r, err)
+		return
+	}
+	resp := ScoreResponse{Scores: make([]ScoredPatternJSON, len(pats))}
+	for i, p := range pats {
+		resp.Scores[i] = ScoredPatternJSON{Cells: p, NM: scores[i]}
+	}
+	writeJSON(w, resp)
+}
+
+// writeScoreError distinguishes the three ways ScoreAll fails: the
+// caller's deadline or disconnect (503, retryable), a scoring panic
+// captured as *core.ScorePanicError (500, a bug report), and anything
+// else (500).
+func (s *Server) writeScoreError(w http.ResponseWriter, r *http.Request, err error) {
+	var pe *core.ScorePanicError
+	switch {
+	case r.Context().Err() != nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		retryAfterHeader(w, s.cfg.RetryAfter)
+		s.writeError(w, http.StatusServiceUnavailable, "timeout", err.Error())
+	case errors.As(err, &pe):
+		s.metrics.panics.Inc()
+		s.logf("serve: scoring panic: %v", pe)
+		s.writeError(w, http.StatusInternalServerError, "score_panic", pe.Error())
+	default:
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// MineRequest asks for a bounded top-k mining run over the server's
+// dataset.
+type MineRequest struct {
+	K      int `json:"k"`
+	MinLen int `json:"min_len,omitempty"`
+	MaxLen int `json:"max_len,omitempty"`
+	// MaxWallMS bounds the run's wall time in milliseconds; the server
+	// clamps it to its own MaxMineWallTime. Zero means the server cap.
+	MaxWallMS int64 `json:"max_wall_ms,omitempty"`
+}
+
+// MineResponse carries the mined top-k. Degraded marks a partial answer:
+// the wall-time budget (or the caller's deadline) fired before the
+// algorithm's own termination test, so Patterns is the best-so-far top-k
+// rather than the converged answer — served as 200, not an error.
+type MineResponse struct {
+	Patterns        []ScoredPatternJSON `json:"patterns"`
+	Degraded        bool                `json:"degraded"`
+	InterruptReason string              `json:"interrupt_reason,omitempty"`
+	Iterations      int                 `json:"iterations"`
+	Candidates      int                 `json:"candidates"`
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	var req MineRequest
+	if err := readJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	wall := s.cfg.MaxMineWallTime
+	if req.MaxWallMS > 0 {
+		if asked := time.Duration(req.MaxWallMS) * time.Millisecond; wall <= 0 || asked < wall {
+			wall = asked
+		}
+	}
+	res, err := core.Mine(r.Context(), s.scorer, core.MinerConfig{
+		K:           req.K,
+		MinLen:      req.MinLen,
+		MaxLen:      req.MaxLen,
+		MaxWallTime: wall,
+		Metrics:     s.cfg.Metrics,
+		Tracer:      s.cfg.Tracer,
+	})
+	if err != nil {
+		var cfgErr *core.ConfigError
+		if errors.As(err, &cfgErr) {
+			s.writeError(w, http.StatusBadRequest, "bad_config", cfgErr.Error())
+			return
+		}
+		s.writeScoreError(w, r, err)
+		return
+	}
+	resp := MineResponse{
+		Patterns:        make([]ScoredPatternJSON, len(res.Patterns)),
+		Degraded:        res.Interrupted,
+		InterruptReason: res.InterruptReason,
+		Iterations:      res.Stats.Iterations,
+		Candidates:      res.Stats.Candidates,
+	}
+	for i, sp := range res.Patterns {
+		resp.Patterns[i] = ScoredPatternJSON{Cells: sp.Pattern, NM: sp.NM}
+	}
+	if len(res.Patterns) > 0 {
+		s.SetPatterns(res.Patterns)
+	}
+	writeJSON(w, resp)
+}
+
+// PointJSON is one observed or predicted position.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// PredictRequest submits an observed position history, oldest first.
+type PredictRequest struct {
+	History []PointJSON `json:"history"`
+}
+
+// PredictResponse is the predicted next position.
+type PredictResponse struct {
+	Next PointJSON `json:"next"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := readJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	if len(req.History) < 2 {
+		s.writeError(w, http.StatusBadRequest, "bad_request",
+			"need at least 2 history points to predict")
+		return
+	}
+	scored := s.Patterns()
+	if len(scored) == 0 {
+		// 409: the request is well-formed but the server has no patterns
+		// yet — mine first (or start with -patterns), then retry.
+		s.writeError(w, http.StatusConflict, "no_patterns",
+			"no mined patterns installed; POST /v1/mine first")
+		return
+	}
+	pats := make([]core.Pattern, len(scored))
+	for i, sp := range scored {
+		pats[i] = sp.Pattern
+	}
+	pp := &predict.PatternPredictor{
+		Base:     predict.NewLinear(),
+		Patterns: pats,
+		Mode:     predict.LocationPatterns,
+		Grid:     s.grid,
+		Delta:    s.delta,
+		Sigma:    s.sigma,
+	}
+	if err := pp.Validate(); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	for _, p := range req.History {
+		pp.Observe(geom.Pt(p.X, p.Y))
+	}
+	next := pp.Predict()
+	writeJSON(w, PredictResponse{Next: PointJSON{X: next.X, Y: next.Y}})
+}
+
+// handleHealthz reports process liveness: if this handler runs at all,
+// the answer is yes. It stays 200 during drain — liveness and readiness
+// are different questions.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// handleReadyz reports whether the server accepts new work: 503 once
+// draining starts, so load balancers stop routing here before the
+// listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.admission.Draining() {
+		retryAfterHeader(w, s.cfg.RetryAfter)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	writeJSON(w, map[string]any{
+		"ready":    true,
+		"inflight": s.admission.InFlight(),
+		"queued":   s.admission.Queued(),
+		"capacity": s.admission.Capacity(),
+	})
+}

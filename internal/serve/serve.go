@@ -1,0 +1,417 @@
+// Package serve implements trajserve, the long-running HTTP service that
+// exposes the TrajPattern miner, scorer and predictor as JSON endpoints.
+// The paper's algorithms run batch; this package makes them survivable as
+// a service: every route sits behind the guard package's admission
+// controller (weighted semaphore + bounded wait queue, typed 429/503
+// shedding), carries a per-route deadline that propagates into the
+// miner's context plumbing, recovers handler panics into typed 500s, and
+// participates in a two-stage SIGTERM drain.
+//
+// Routes:
+//
+//	POST /v1/score    score submitted patterns by normalized match
+//	POST /v1/mine     bounded top-k mining; partial answers are 200+degraded
+//	POST /v1/predict  pattern-assisted next-position prediction
+//	GET  /healthz     process liveness
+//	GET  /readyz      admission state (503 while draining)
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"trajpattern/internal/cli"
+	"trajpattern/internal/core"
+	"trajpattern/internal/grid"
+	"trajpattern/internal/obs"
+	"trajpattern/internal/serve/guard"
+	"trajpattern/internal/trace"
+	"trajpattern/internal/traj"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultCapacity    = 8
+	DefaultMaxQueue    = 16
+	DefaultRetryAfter  = 500 * time.Millisecond
+	DefaultDeadline    = 30 * time.Second
+	DefaultMineWeight  = 4
+	DefaultMaxBodySize = 8 << 20 // 8 MiB of JSON is far beyond any sane request
+)
+
+// Config configures a Server.
+type Config struct {
+	// Dataset is the trajectory corpus the service scores and mines
+	// against. Required, non-empty.
+	Dataset traj.Dataset
+	// GridN is the grid side (G = GridN²). Zero means 12.
+	GridN int
+	// DeltaMul sets δ as a multiple of the grid cell size (the paper's
+	// choice is 1). Zero means 1.
+	DeltaMul float64
+
+	// Capacity is the admission controller's total in-flight weight
+	// (score and predict cost 1, mine costs MineWeight). Zero means
+	// DefaultCapacity; negative means unlimited.
+	Capacity int64
+	// MaxQueue bounds the admission wait queue. Zero means
+	// DefaultMaxQueue; negative means unbounded.
+	MaxQueue int
+	// RetryAfter is the backoff hint attached to 429/503 responses.
+	// Zero means DefaultRetryAfter.
+	RetryAfter time.Duration
+	// MineWeight is the admission weight of one /v1/mine request.
+	// Zero means DefaultMineWeight.
+	MineWeight int64
+
+	// ScoreDeadline, MineDeadline and PredictDeadline bound each route's
+	// wall time, queue wait included. Zero means DefaultDeadline;
+	// negative disables the route's deadline.
+	ScoreDeadline   time.Duration
+	MineDeadline    time.Duration
+	PredictDeadline time.Duration
+
+	// MaxMineWallTime caps the miner's in-request wall-clock budget.
+	// A request asking for more (or for nothing) gets this value, so a
+	// mine request can never hold its admission weight longer than
+	// MaxMineWallTime plus one iteration. Zero means 80% of the
+	// effective MineDeadline (leaving headroom to encode the answer).
+	MaxMineWallTime time.Duration
+
+	// MaxBodyBytes bounds request bodies. Zero means DefaultMaxBodySize.
+	MaxBodyBytes int64
+
+	// Metrics, when non-nil, receives service instrumentation
+	// ("serve.*" names) alongside the scorer's and miner's own counters.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one span per request. Per-request
+	// spans buffer in memory for the process lifetime, so this is a
+	// debugging mode, not an always-on default.
+	Tracer *trace.Tracer
+	// Log receives operator-facing notices (panic reports). Nil means
+	// discard.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.GridN == 0 {
+		c.GridN = 12
+	}
+	//trajlint:allow floatcmp -- zero means "unset" for this config field; exact sentinel test, not a numeric comparison
+	if c.DeltaMul == 0 {
+		c.DeltaMul = 1
+	}
+	if c.Capacity == 0 {
+		c.Capacity = DefaultCapacity
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	if c.MineWeight <= 0 {
+		c.MineWeight = DefaultMineWeight
+	}
+	if c.ScoreDeadline == 0 {
+		c.ScoreDeadline = DefaultDeadline
+	}
+	if c.MineDeadline == 0 {
+		c.MineDeadline = DefaultDeadline
+	}
+	if c.PredictDeadline == 0 {
+		c.PredictDeadline = DefaultDeadline
+	}
+	if c.MaxMineWallTime == 0 && c.MineDeadline > 0 {
+		c.MaxMineWallTime = c.MineDeadline * 8 / 10
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodySize
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// Server is the trajserve request handler: the scorer and grid are built
+// once at construction, every route is wrapped in the guard middleware
+// stack, and mined patterns are retained for /v1/predict.
+type Server struct {
+	cfg       Config
+	scorer    *core.Scorer
+	grid      *grid.Grid
+	delta     float64
+	sigma     float64
+	admission *guard.Admission
+	mux       *http.ServeMux
+
+	mu       sync.RWMutex
+	patterns []core.ScoredPattern // latest mined or preloaded patterns
+
+	metrics serveMetrics
+	logMu   sync.Mutex
+}
+
+type serveMetrics struct {
+	requests map[string]*obs.Counter // per route
+	statuses map[int]*obs.Counter    // per status class (2, 4, 5)
+	shed     *obs.Counter
+	drained  *obs.Counter
+	panics   *obs.Counter
+	inflight *obs.Gauge
+	queued   *obs.Gauge
+	timer    *obs.Timer
+}
+
+func newServeMetrics(r *obs.Registry) serveMetrics {
+	if r == nil {
+		return serveMetrics{}
+	}
+	m := serveMetrics{
+		requests: map[string]*obs.Counter{},
+		statuses: map[int]*obs.Counter{},
+		shed:     r.Counter("serve.shed"),
+		drained:  r.Counter("serve.drained"),
+		panics:   r.Counter("serve.panics"),
+		inflight: r.Gauge("serve.inflight_weight"),
+		queued:   r.Gauge("serve.queued"),
+		timer:    r.Timer("serve.request"),
+	}
+	for _, route := range []string{routeScore, routeMine, routePredict} {
+		m.requests[route] = r.Counter("serve.requests" + route)
+	}
+	for _, class := range []int{2, 4, 5} {
+		m.statuses[class] = r.Counter(fmt.Sprintf("serve.status.%dxx", class))
+	}
+	return m
+}
+
+const (
+	routeScore   = "/v1/score"
+	routeMine    = "/v1/mine"
+	routePredict = "/v1/predict"
+)
+
+// NewServer builds the scorer over cfg.Dataset and assembles the routed,
+// guarded handler. Configuration faults surface here as errors (the
+// scorer's own validation returns *core.ConfigError), never later at
+// request time.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Dataset) == 0 {
+		return nil, errors.New("serve: empty dataset")
+	}
+	if cfg.GridN < 1 {
+		return nil, fmt.Errorf("serve: GridN must be >= 1, got %d", cfg.GridN)
+	}
+	if math.IsNaN(cfg.DeltaMul) || cfg.DeltaMul <= 0 {
+		return nil, fmt.Errorf("serve: DeltaMul must be positive and not NaN, got %v", cfg.DeltaMul)
+	}
+	g := cli.FitGrid(cfg.Dataset, cfg.GridN)
+	delta := cfg.DeltaMul * g.CellWidth()
+	scorer, err := core.NewScorer(cfg.Dataset, core.Config{
+		Grid:    g,
+		Delta:   delta,
+		Metrics: cfg.Metrics,
+		Tracer:  cfg.Tracer,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: build scorer: %w", err)
+	}
+	sigma := cfg.Dataset.MeanSigma()
+	if sigma <= 0 {
+		sigma = delta // exact zero sigma would break the predictor's confirmation probability
+	}
+	s := &Server{
+		cfg:       cfg,
+		scorer:    scorer,
+		grid:      g,
+		delta:     delta,
+		sigma:     sigma,
+		admission: guard.NewAdmission(cfg.Capacity, cfg.MaxQueue, cfg.RetryAfter),
+		mux:       http.NewServeMux(),
+		metrics:   newServeMetrics(cfg.Metrics),
+	}
+	s.mux.Handle("POST "+routeScore, s.guarded(routeScore, cfg.ScoreDeadline, 1, s.handleScore))
+	s.mux.Handle("POST "+routeMine, s.guarded(routeMine, cfg.MineDeadline, cfg.MineWeight, s.handleMine))
+	s.mux.Handle("POST "+routePredict, s.guarded(routePredict, cfg.PredictDeadline, 1, s.handlePredict))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s, nil
+}
+
+// Handler returns the fully assembled HTTP handler (nil on nil).
+func (s *Server) Handler() http.Handler {
+	if s == nil {
+		return nil
+	}
+	return s.mux
+}
+
+// Admission exposes the server's admission controller so the drain
+// orchestration (and tests) can flip it. A nil server returns a nil
+// controller, which admits everything.
+func (s *Server) Admission() *guard.Admission {
+	if s == nil {
+		return nil
+	}
+	return s.admission
+}
+
+// SetPatterns installs patterns for /v1/predict, replacing any previous
+// set. Run uses it to preload a persisted pattern file at startup; a
+// successful /v1/mine installs its answer the same way.
+func (s *Server) SetPatterns(pats []core.ScoredPattern) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.patterns = pats
+	s.mu.Unlock()
+}
+
+// Patterns returns the currently installed pattern set (nil on nil).
+func (s *Server) Patterns() []core.ScoredPattern {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.patterns
+}
+
+func (s *Server) logf(format string, args ...any) {
+	s.logMu.Lock()
+	fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	s.logMu.Unlock()
+}
+
+// guarded assembles one route's middleware stack, outermost first:
+// instrumentation (status/latency metrics, optional request span), panic
+// recovery, deadline, admission, then the handler. Admission sits inside
+// the deadline so queue wait counts against the route budget and a
+// client disconnect abandons the queue slot.
+func (s *Server) guarded(route string, deadline time.Duration, weight int64, h http.HandlerFunc) http.Handler {
+	admitted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.admission.Acquire(r.Context(), weight)
+		if err != nil {
+			s.writeAdmissionError(w, err)
+			return
+		}
+		defer release()
+		s.metrics.inflight.Set(s.admission.InFlight())
+		h(w, r)
+	})
+	stack := guard.WithDeadline(route, deadline, admitted)
+	stack = guard.Recover(route, func(pe *guard.PanicError) {
+		s.metrics.panics.Inc()
+		s.logf("serve: %v\n%s", pe, pe.Stack)
+	}, stack)
+	inner := stack
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c := s.metrics.requests[route]; c != nil {
+			c.Inc()
+		}
+		var stop func()
+		if s.metrics.timer != nil {
+			stop = s.metrics.timer.Start()
+		}
+		var span *trace.Span
+		if s.cfg.Tracer != nil {
+			span = s.cfg.Tracer.Local().Span("serve.request", trace.Attrs{"route": route})
+		}
+		sw := guard.NewStatusRecorder(w)
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		inner.ServeHTTP(sw, r)
+		status := sw.Status()
+		if status == 0 {
+			// Handler wrote nothing (e.g. deadline fired before any
+			// output): close the exchange as a 503 so the client never
+			// sees an empty 200.
+			s.writeError(sw, http.StatusServiceUnavailable, "timeout",
+				"request abandoned before a response was produced")
+			status = http.StatusServiceUnavailable
+		}
+		if c := s.metrics.statuses[status/100]; c != nil {
+			c.Inc()
+		}
+		s.metrics.queued.Set(int64(s.admission.Queued()))
+		span.Attr("status", status).End()
+		if stop != nil {
+			stop()
+		}
+	})
+}
+
+// errorBody is the JSON error envelope shared by every non-200 response.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeAdmissionError maps the guard's typed errors onto the wire:
+// *ShedError → 429 + Retry-After, *DrainError → 503 + Retry-After,
+// context expiry while queued → 503.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	retryAfterHeader(w, s.cfg.RetryAfter)
+	var shed *guard.ShedError
+	var drain *guard.DrainError
+	switch {
+	case errors.As(err, &shed):
+		s.metrics.shed.Inc()
+		s.writeError(w, http.StatusTooManyRequests, "overloaded", shed.Error())
+	case errors.As(err, &drain):
+		s.metrics.drained.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "draining", drain.Error())
+	default:
+		s.writeError(w, http.StatusServiceUnavailable, "admission_timeout",
+			fmt.Sprintf("gave up waiting for admission: %v", err))
+	}
+}
+
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second) // ceil: "Retry-After: 0" means hammer away
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// readJSON decodes the request body into v, rejecting unknown fields and
+// trailing garbage so a torn or concatenated payload can never half-parse
+// into a request.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

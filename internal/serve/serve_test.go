@@ -1,0 +1,447 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"trajpattern/internal/obs"
+	"trajpattern/internal/traj"
+)
+
+// testDataset is a tiny corpus with an unmistakable repeated route, so
+// mining finds real patterns fast.
+func testDataset() traj.Dataset {
+	var ds traj.Dataset
+	for i := 0; i < 6; i++ {
+		off := float64(i) * 0.001
+		ds = append(ds, traj.Trajectory{
+			traj.P(0.1+off, 0.1, 0.02),
+			traj.P(0.3+off, 0.3, 0.02),
+			traj.P(0.5+off, 0.5, 0.02),
+			traj.P(0.7+off, 0.7, 0.02),
+			traj.P(0.9+off, 0.9, 0.02),
+		})
+	}
+	return ds
+}
+
+func newTestServer(t *testing.T, mut func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{Dataset: testDataset(), GridN: 6, Metrics: obs.New()}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	return v
+}
+
+func TestNewServerRejectsBadConfig(t *testing.T) {
+	if _, err := NewServer(Config{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	// A bad grid dimension must fail at construction, not at request
+	// time, via the scorer's typed validation.
+	_, err := NewServer(Config{Dataset: testDataset(), GridN: -3})
+	if err == nil {
+		t.Error("negative grid accepted")
+	}
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp := postJSON(t, ts.URL+"/v1/score", ScoreRequest{Patterns: [][]int{{0}, {1, 2}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decode[ScoreResponse](t, resp)
+	if len(out.Scores) != 2 {
+		t.Fatalf("scores = %d, want 2", len(out.Scores))
+	}
+	// NM is a normalized measure in [0, 1] up to float rounding.
+	if out.Scores[0].NM < -1e-9 || out.Scores[0].NM > 1+1e-9 {
+		t.Errorf("NM out of range: %v", out.Scores[0].NM)
+	}
+}
+
+func TestScoreRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty body", ``},
+		{"not json", `{{{`},
+		{"no patterns", `{"patterns":[]}`},
+		{"empty pattern", `{"patterns":[[]]}`},
+		{"cell out of range", `{"patterns":[[999999]]}`},
+		{"negative cell", `{"patterns":[[-1]]}`},
+		{"unknown field", `{"patternz":[[1]]}`},
+		{"trailing garbage", `{"patterns":[[1]]} extra`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			eb := decode[errorBody](t, resp)
+			if eb.Error.Code == "" {
+				t.Error("error envelope missing code")
+			}
+		})
+	}
+}
+
+func TestMineEndpointAndPredict(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+
+	// Predict before any patterns exist: 409, not 500.
+	resp := postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		History: []PointJSON{{X: 0.1, Y: 0.1}, {X: 0.3, Y: 0.3}, {X: 0.5, Y: 0.5}},
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("predict without patterns: status = %d, want 409", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/mine", MineRequest{K: 5, MaxLen: 4})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("mine status = %d: %s", resp.StatusCode, body)
+	}
+	mined := decode[MineResponse](t, resp)
+	if len(mined.Patterns) == 0 {
+		t.Fatal("mine returned no patterns")
+	}
+	if mined.Degraded {
+		t.Errorf("unbounded mine on tiny data reported degraded: %s", mined.InterruptReason)
+	}
+	if len(s.Patterns()) == 0 {
+		t.Fatal("mined patterns not installed for predict")
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		History: []PointJSON{{X: 0.1, Y: 0.1}, {X: 0.3, Y: 0.3}, {X: 0.5, Y: 0.5}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status = %d", resp.StatusCode)
+	}
+	pred := decode[PredictResponse](t, resp)
+	// The route moves up-right; any sane prediction continues that way.
+	if pred.Next.X <= 0.5 || pred.Next.Y <= 0.5 {
+		t.Errorf("prediction %+v does not continue the route", pred.Next)
+	}
+}
+
+func TestMineRejectsBadConfig(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp := postJSON(t, ts.URL+"/v1/mine", MineRequest{K: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=-1 status = %d, want 400", resp.StatusCode)
+	}
+	eb := decode[errorBody](t, resp)
+	if eb.Error.Code != "bad_config" {
+		t.Errorf("code = %q, want bad_config", eb.Error.Code)
+	}
+}
+
+func TestMineWallTimeDegrades(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.MaxMineWallTime = time.Nanosecond // force interruption at the first boundary
+	})
+	resp := postJSON(t, ts.URL+"/v1/mine", MineRequest{K: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded mine status = %d, want 200", resp.StatusCode)
+	}
+	mined := decode[MineResponse](t, resp)
+	if !mined.Degraded {
+		t.Fatal("nanosecond budget did not degrade the answer")
+	}
+	if mined.InterruptReason == "" {
+		t.Error("degraded answer carries no interrupt reason")
+	}
+}
+
+func TestHealthAndReady(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	s.Admission().StartDrain()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining readyz missing Retry-After")
+	}
+	// Liveness is a different question: still 200.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestDrainingEndpointsReturn503(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	resp := postJSON(t, ts.URL+"/v1/score", ScoreRequest{Patterns: [][]int{{0}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain score = %d", resp.StatusCode)
+	}
+	s.Admission().StartDrain()
+	resp = postJSON(t, ts.URL+"/v1/score", ScoreRequest{Patterns: [][]int{{0}}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining score = %d, want 503", resp.StatusCode)
+	}
+	eb := decode[errorBody](t, resp)
+	if eb.Error.Code != "draining" {
+		t.Errorf("code = %q, want draining", eb.Error.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining response missing Retry-After")
+	}
+}
+
+func TestOverloadSheds429(t *testing.T) {
+	// Capacity 1, queue 1: occupy the slot and the queue directly via
+	// the admission controller, then the next HTTP request must be shed
+	// with 429 + Retry-After.
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Capacity = 1
+		c.MaxQueue = 1
+	})
+	release, err := s.Admission().Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	queued := make(chan error, 1)
+	qctx, qcancel := context.WithCancel(context.Background())
+	defer qcancel()
+	go func() {
+		r, err := s.Admission().Acquire(qctx, 1)
+		if err == nil {
+			r()
+		}
+		queued <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Admission().Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/score", ScoreRequest{Patterns: [][]int{{0}}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded score = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	eb := decode[errorBody](t, resp)
+	if eb.Error.Code != "overloaded" {
+		t.Errorf("code = %q, want overloaded", eb.Error.Code)
+	}
+	qcancel()
+	<-queued
+}
+
+func TestPanicIsolation(t *testing.T) {
+	// A request that panics the scorer must come back as a typed 500
+	// and leave the server serving.
+	reg := obs.New()
+	var logBuf bytes.Buffer
+	s, err := NewServer(Config{Dataset: testDataset(), GridN: 6, Metrics: reg, Log: &logBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap the handler with a route that panics, sharing the server's
+	// middleware assembly.
+	h := s.guarded("/v1/boom", time.Second, 1, func(w http.ResponseWriter, r *http.Request) {
+		panic("poisoned request")
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/boom", strings.NewReader("{}")))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking route = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(logBuf.String(), "poisoned request") {
+		t.Error("panic not logged")
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("serve.panics") != 1 {
+		t.Errorf("serve.panics = %d, want 1", snap.Counter("serve.panics"))
+	}
+	if snap.Counter("serve.status.5xx") != 1 {
+		t.Errorf("serve.status.5xx = %d, want 1", snap.Counter("serve.status.5xx"))
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	reg := obs.New()
+	_, ts := newTestServer(t, func(c *Config) { c.Metrics = reg })
+	resp := postJSON(t, ts.URL+"/v1/score", ScoreRequest{Patterns: [][]int{{0}}})
+	io.Copy(io.Discard, resp.Body)
+	snap := reg.Snapshot()
+	if snap.Counter("serve.requests/v1/score") != 1 {
+		t.Errorf("request counter = %d, want 1", snap.Counter("serve.requests/v1/score"))
+	}
+	if snap.Counter("serve.status.2xx") != 1 {
+		t.Errorf("2xx counter = %d, want 1", snap.Counter("serve.status.2xx"))
+	}
+}
+
+func TestClientRetriesOn429ThenSucceeds(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls < 3 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"error":{"code":"overloaded","message":"busy"}}`)
+			return
+		}
+		io.WriteString(w, `{"scores":[{"cells":[1],"nm":0.5}]}`)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL: ts.URL,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	out, err := c.Score(context.Background(), ScoreRequest{Patterns: [][]int{{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Scores) != 1 || out.Scores[0].NM != 0.5 {
+		t.Fatalf("response = %+v", out)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	// Retry-After of 1s dominates the 50ms/100ms backoff.
+	for i, d := range slept {
+		if d < time.Second {
+			t.Errorf("sleep %d = %v, want >= 1s (Retry-After honoured)", i, d)
+		}
+	}
+}
+
+func TestClientDoesNotRetryAnswers(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusConflict, http.StatusInternalServerError} {
+		var calls int
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls++
+			w.WriteHeader(status)
+			io.WriteString(w, `{"error":{"code":"nope","message":"answer"}}`)
+		}))
+		c := &Client{BaseURL: ts.URL, Sleep: func(context.Context, time.Duration) error { return nil }}
+		_, err := c.Score(context.Background(), ScoreRequest{Patterns: [][]int{{1}}})
+		ts.Close()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != status {
+			t.Fatalf("status %d: err = %v, want *APIError", status, err)
+		}
+		if calls != 1 {
+			t.Errorf("status %d retried: %d calls", status, calls)
+		}
+	}
+}
+
+func TestClientExhaustsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":{"code":"draining","message":"going away"}}`)
+	}))
+	defer ts.Close()
+	c := &Client{
+		BaseURL:     ts.URL,
+		MaxAttempts: 3,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	_, err := c.Score(context.Background(), ScoreRequest{Patterns: [][]int{{1}}})
+	var ex *RetriesExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 3 {
+		t.Fatalf("err = %v, want RetriesExhaustedError after 3", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "draining" {
+		t.Errorf("exhausted error does not unwrap to the last APIError: %v", err)
+	}
+}
+
+func TestClientBackoffCapsAndJitters(t *testing.T) {
+	c := &Client{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond}
+	// attempt 1 → 100ms, 2 → 200ms, 3 → 400ms, 4 → capped 400ms
+	wants := []time.Duration{100, 200, 400, 400}
+	for i, want := range wants {
+		var got time.Duration
+		c.Sleep = func(ctx context.Context, d time.Duration) error { got = d; return nil }
+		if err := c.wait(context.Background(), i+1, nil); err != nil {
+			t.Fatal(err)
+		}
+		if got != want*time.Millisecond {
+			t.Errorf("attempt %d backoff = %v, want %v", i+1, got, want*time.Millisecond)
+		}
+	}
+}

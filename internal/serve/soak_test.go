@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"trajpattern/internal/obs"
+	"trajpattern/internal/serve/chaos"
+	"trajpattern/internal/stat"
+)
+
+// TestSoakOverloadedServer is the package's central robustness claim: N
+// concurrent retrying clients hammering a server with far less admission
+// capacity, through a fault-injecting transport that drops, stalls and
+// tears responses, observe only clean outcomes — 200s with decodable
+// JSON, typed 429/503 shedding, or transport errors the chaos layer
+// itself injected. No request hangs, nothing half-parses, and after the
+// drain no goroutines are left behind.
+func TestSoakOverloadedServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	reg := obs.New()
+	s, err := NewServer(Config{
+		Dataset:       testDataset(),
+		GridN:         6,
+		Capacity:      4,
+		MaxQueue:      4,
+		RetryAfter:    10 * time.Millisecond,
+		ScoreDeadline: 5 * time.Second,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	const (
+		clients  = 16
+		requests = 25
+	)
+	var (
+		mu         sync.Mutex
+		statusSeen = map[int]int{}
+		transport  = map[string]int{} // transport-level failure tallies
+		ok         int
+	)
+	record := func(err error) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if err == nil {
+			ok++
+			statusSeen[http.StatusOK]++
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			statusSeen[apiErr.Status]++
+			if apiErr.Status != http.StatusTooManyRequests &&
+				apiErr.Status != http.StatusServiceUnavailable {
+				return fmt.Errorf("forbidden status %d: %w", apiErr.Status, err)
+			}
+			return nil
+		}
+		// Not an HTTP answer: must be chaos-injected transport trouble
+		// (disconnects, torn bodies failing to decode, stalled requests
+		// hitting their deadline) — never a hang or a silent half-parse.
+		transport[fmt.Sprintf("%.40s", err.Error())]++
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tr := &chaos.Transport{
+				PDisconnect: 0.10,
+				PStall:      0.10,
+				Stall:       10 * time.Millisecond,
+				PTornBody:   0.10,
+				TornBytes:   16,
+				RNG:         stat.NewRNG(uint64(1000 + id)),
+			}
+			httpc := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+			c := &Client{
+				BaseURL:     ts.URL,
+				HTTP:        httpc,
+				MaxAttempts: 3,
+				RNG:         stat.NewRNG(uint64(id)),
+				Sleep: func(ctx context.Context, d time.Duration) error {
+					// Compress real time: the schedule shape is covered by
+					// unit tests; the soak cares about concurrency.
+					timer := time.NewTimer(time.Millisecond)
+					defer timer.Stop()
+					select {
+					case <-timer.C:
+						return nil
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				},
+			}
+			for r := 0; r < requests; r++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				_, err := c.Score(ctx, ScoreRequest{Patterns: [][]int{{r % 36}, {(r + 1) % 36, (r + 2) % 36}}})
+				cancel()
+				if verr := record(err); verr != nil {
+					errs <- verr
+					return
+				}
+			}
+			tr.Inner = nil
+			httpc.CloseIdleConnections()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if ok == 0 {
+		t.Fatal("soak produced zero successful requests — nothing was actually exercised")
+	}
+	t.Logf("soak outcomes: statuses=%v transport=%v", statusSeen, transport)
+
+	// Drain: every subsequent request must be a clean 503.
+	s.Admission().StartDrain()
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json",
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status = %d, want 503", resp.StatusCode)
+	}
+	if s.Admission().InFlight() != 0 {
+		t.Errorf("in-flight weight after soak = %d, want 0", s.Admission().InFlight())
+	}
+
+	ts.CloseClientConnections()
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	// Goroutine-leak check, stdlib only: after the server is gone, the
+	// count must settle back to (near) the starting point. Poll with a
+	// deadline — lingering net/http conns take a moment to unwind.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d now=%d\n%s", before, now, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counter("serve.requests/v1/score") == 0 {
+		t.Error("no requests recorded in metrics")
+	}
+}

@@ -2,25 +2,48 @@ package traj
 
 import (
 	"bytes"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"trajpattern/internal/geom"
 )
 
-// FuzzRead checks that the dataset decoder never panics on arbitrary
-// input and that everything it accepts re-encodes and re-reads stably.
-func FuzzRead(f *testing.F) {
-	var buf bytes.Buffer
-	_ = Write(&buf, Dataset{
-		{P(0, 0, 0.1), P(1, 1, 0.2)},
-		{P(-1, 2, 0.05)},
-	})
-	f.Add(buf.String())
+// addTestdataSeeds adds every file under testdata/ matching glob as a seed
+// input, so the corpus starts from realistic on-disk shapes rather than
+// only hand-written literals.
+func addTestdataSeeds(f *testing.F, glob string) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", glob))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatalf("no testdata seeds match %q", glob)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// FuzzReadDataset checks that the dataset decoder never panics on
+// arbitrary input, that everything it accepts is structurally safe to hand
+// to the scorer (finite coordinates, finite non-negative sigmas), and that
+// accepted datasets re-encode and re-read stably.
+func FuzzReadDataset(f *testing.F) {
+	addTestdataSeeds(f, "fuzz_seed_*.jsonl")
 	f.Add("")
 	f.Add("[]")
 	f.Add(`[{"mean":{"X":0,"Y":0},"sigma":0}]`)
 	f.Add(`[{"mean":{"X":1e400,"Y":0},"sigma":1}]`)
+	f.Add(`[{"mean":{"X":0,"Y":0},"sigma":-1}]`)
+	f.Add(`[{"mean":{"X":0,"Y":0},"sigma":1e400}]`)
 	f.Add("{")
 	f.Add("null")
 	f.Fuzz(func(t *testing.T, in string) {
@@ -30,6 +53,17 @@ func FuzzRead(f *testing.F) {
 		}
 		if err := ds.Validate(); err != nil {
 			t.Fatalf("Read accepted invalid dataset: %v", err)
+		}
+		// The scorer's contract: no poisoned floats past the decoder.
+		for i, tr := range ds {
+			for j, p := range tr {
+				if !p.Mean.IsFinite() {
+					t.Fatalf("accepted non-finite mean at [%d][%d]: %v", i, j, p.Mean)
+				}
+				if math.IsNaN(p.Sigma) || math.IsInf(p.Sigma, 0) || p.Sigma < 0 {
+					t.Fatalf("accepted poisoned sigma at [%d][%d]: %v", i, j, p.Sigma)
+				}
+			}
 		}
 		var out bytes.Buffer
 		if err := Write(&out, ds); err != nil {

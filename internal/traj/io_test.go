@@ -82,6 +82,38 @@ func TestReadRejectsInvalid(t *testing.T) {
 	}
 }
 
+func TestReadFileRejectsPoisonedFloats(t *testing.T) {
+	// Every way a poisoned float can arrive on disk must be rejected with
+	// a path:line error instead of flowing into the scorer: out-of-range
+	// exponents (the JSON spelling of Inf/NaN coordinates), negative
+	// sigma, and huge-exponent sigma.
+	cases := []struct {
+		name, row string
+	}{
+		{"inf x", `[{"mean":{"X":1e400,"Y":0},"sigma":1}]`},
+		{"inf y", `[{"mean":{"X":0,"Y":-1e999},"sigma":1}]`},
+		{"negative sigma", `[{"mean":{"X":0,"Y":0},"sigma":-0.5}]`},
+		{"inf sigma", `[{"mean":{"X":0,"Y":0},"sigma":1e400}]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "poison.jsonl")
+			if err := writeRaw(path, tc.row+"\n"); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ReadFile(path)
+			if err == nil {
+				t.Fatal("poisoned row accepted")
+			}
+			for _, want := range []string{path + ":1", "record 1"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not carry %q", err, want)
+				}
+			}
+		})
+	}
+}
+
 func TestReadEmpty(t *testing.T) {
 	d, err := Read(strings.NewReader(""))
 	if err != nil {

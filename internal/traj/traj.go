@@ -61,13 +61,15 @@ func (t Trajectory) MaxSigma() float64 {
 }
 
 // Validate reports the first structural problem in t: non-finite
-// coordinates or negative sigmas.
+// coordinates, or sigmas that are negative, NaN or infinite. An infinite
+// sigma passes a plain `< 0` test but poisons every probability downstream,
+// so it is rejected here (found by FuzzReadDataset).
 func (t Trajectory) Validate() error {
 	for i, p := range t {
 		if !p.Mean.IsFinite() {
 			return fmt.Errorf("traj: snapshot %d has non-finite mean %v", i, p.Mean)
 		}
-		if math.IsNaN(p.Sigma) || p.Sigma < 0 {
+		if math.IsNaN(p.Sigma) || math.IsInf(p.Sigma, 0) || p.Sigma < 0 {
 			return fmt.Errorf("traj: snapshot %d has invalid sigma %v", i, p.Sigma)
 		}
 	}
