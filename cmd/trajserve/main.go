@@ -9,6 +9,7 @@
 //
 //	trajserve -in zebra.jsonl -addr :8080
 //	trajserve -in bus.jsonl -patterns mined.json -capacity 16 -queue 32
+//	trajserve -in zebra.jsonl -mine-shards 4 -capacity 16
 //	trajserve -in zebra.jsonl -trace run.trace -debug-addr localhost:6060
 //
 // Routes: POST /v1/score, /v1/mine, /v1/predict; GET /healthz, /readyz.
@@ -33,7 +34,8 @@ func main() {
 		deltaMul = flag.Float64("delta", 1, "indifferent threshold δ as a multiple of the cell size")
 		capacity = flag.Int64("capacity", serve.DefaultCapacity, "admission capacity in weight units (mine costs -mine-weight)")
 		queue    = flag.Int("queue", serve.DefaultMaxQueue, "admission wait-queue bound; beyond it requests are shed with 429")
-		mineWt   = flag.Int64("mine-weight", serve.DefaultMineWeight, "admission weight of one /v1/mine request")
+		mineWt   = flag.Int64("mine-weight", serve.DefaultMineWeight, "admission weight of one /v1/mine request (multiplied by -mine-shards, clamped to -capacity)")
+		shards   = flag.Int("mine-shards", 1, "partition /v1/mine across this many dataset shards with a merged top-k (1 = single-partition, -1 = one per CPU)")
 		deadline = flag.Duration("deadline", serve.DefaultDeadline, "per-request deadline (queue wait included)")
 		maxWall  = flag.Duration("mine-maxwall", 0, "cap on a mine request's wall-clock budget (0 = 80% of -deadline)")
 		grace    = flag.Duration("grace", serve.DefaultGrace, "drain grace for in-flight requests on SIGTERM")
@@ -61,6 +63,7 @@ func main() {
 			Capacity:        *capacity,
 			MaxQueue:        *queue,
 			MineWeight:      *mineWt,
+			MineShards:      *shards,
 			ScoreDeadline:   *deadline,
 			MineDeadline:    *deadline,
 			PredictDeadline: *deadline,

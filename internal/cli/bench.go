@@ -50,6 +50,11 @@ type BenchOptions struct {
 	// TolPct is the allowed drift percentage for CheckPath comparisons.
 	// Zero means DefaultBenchTolerance.
 	TolPct float64
+	// Scaling additionally runs the sharded miner's scaling curve (see
+	// RunScaling) and records it as the result's "scaling" block; with
+	// CheckPath set, the block is gated against the baseline's via
+	// CheckScaling (efficiency floor + work counters).
+	Scaling bool
 	// CheckTime additionally gates on wall-clock time (one-sided: slower
 	// than baseline by more than TolPct fails). Off by default because
 	// wall time is only comparable on the machine that produced the
@@ -96,12 +101,18 @@ type BenchResult struct {
 	Scale       float64                      `json:"scale"`
 	Seed        uint64                       `json:"seed"`
 	Experiments map[string]*ExperimentResult `json:"experiments"`
+	// Scaling holds the sharded miner's scaling curve when the run was
+	// asked to measure one (BenchOptions.Scaling); absent otherwise, so
+	// pre-sharding baselines keep loading unchanged.
+	Scaling *ScalingResult `json:"scaling,omitempty"`
 }
 
-// nondeterministicPrefixes are counter namespaces whose values depend on
-// goroutine scheduling or pool reuse; they are reported in Metrics but
-// excluded from the Work map the regression gate compares.
-var nondeterministicPrefixes = []string{"scorer.scratch.", "scorer.worker."}
+// nondeterministicFragments mark counter namespaces whose values depend
+// on goroutine scheduling or pool reuse; they are reported in Metrics but
+// excluded from the Work map the regression gate compares. Matched by
+// substring, not prefix, so per-shard copies ("shard.03.scorer.scratch.…")
+// stay excluded too.
+var nondeterministicFragments = []string{"scorer.scratch.", "scorer.worker."}
 
 // workCounters extracts the deterministic gate counters from a snapshot.
 func workCounters(s obs.Snapshot) map[string]int64 {
@@ -111,8 +122,8 @@ func workCounters(s obs.Snapshot) map[string]int64 {
 	out := make(map[string]int64, len(s.Counters))
 next:
 	for name, v := range s.Counters {
-		for _, p := range nondeterministicPrefixes {
-			if strings.HasPrefix(name, p) {
+		for _, p := range nondeterministicFragments {
+			if strings.Contains(name, p) {
 				continue next
 			}
 		}
@@ -205,6 +216,16 @@ func RunBench(ctx context.Context, w io.Writer, o BenchOptions) (*BenchResult, e
 		result.Experiments[id] = er
 	}
 
+	if o.Scaling && ctx.Err() == nil {
+		sres, err := RunScaling(ctx, w, ScalingOptions{Scale: o.Scale, Seed: o.Seed, Tracer: o.Tracer})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trajbench: scaling: %v\n", err)
+			failures = append(failures, fmt.Sprintf("scaling: %v", err))
+		} else {
+			result.Scaling = sres
+		}
+	}
+
 	if o.JSONPath != "" {
 		if err := writeBenchJSON(o.JSONPath, result); err != nil {
 			return result, err
@@ -222,6 +243,9 @@ func RunBench(ctx context.Context, w io.Writer, o BenchOptions) (*BenchResult, e
 			tol = DefaultBenchTolerance
 		}
 		regressions := CheckRegression(baseline, result, tol, o.CheckTime)
+		if o.Scaling {
+			regressions = append(regressions, CheckScaling(baseline.Scaling, result.Scaling, tol)...)
+		}
 		if len(regressions) > 0 {
 			for _, r := range regressions {
 				fmt.Fprintf(os.Stderr, "trajbench: regression: %s\n", r)

@@ -1,0 +1,162 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func scalingEntry(shards int, eff float64, work map[string]int64) ScalingEntry {
+	return ScalingEntry{Shards: shards, NS: 1000, Speedup: eff, Efficiency: eff, Work: work}
+}
+
+func scalingFixture(procs int) *ScalingResult {
+	return &ScalingResult{
+		Zebras: 24, AvgLen: 24, GridN: 12, K: 10, Seed: 1, GoMaxProcs: procs,
+		Floor: 0.5,
+		Entries: []ScalingEntry{
+			scalingEntry(1, 1.0, map[string]int64{"miner.candidates": 100}),
+			scalingEntry(4, 0.8, map[string]int64{"shard.00.miner.candidates": 25}),
+		},
+	}
+}
+
+func TestCheckScalingNilBaseline(t *testing.T) {
+	if v := CheckScaling(nil, scalingFixture(4), 10); v != nil {
+		t.Errorf("nil baseline produced violations: %v", v)
+	}
+}
+
+func TestCheckScalingMissingCurrent(t *testing.T) {
+	v := CheckScaling(scalingFixture(4), nil, 10)
+	if len(v) != 1 || !strings.Contains(v[0], "-scaling") {
+		t.Errorf("missing current block not flagged: %v", v)
+	}
+}
+
+func TestCheckScalingWorkloadMismatch(t *testing.T) {
+	cur := scalingFixture(4)
+	cur.Zebras = 48
+	v := CheckScaling(scalingFixture(4), cur, 10)
+	if len(v) != 1 || !strings.Contains(v[0], "incomparable") {
+		t.Errorf("workload mismatch not flagged: %v", v)
+	}
+}
+
+func TestCheckScalingEfficiencyFloor(t *testing.T) {
+	cur := scalingFixture(4)
+	cur.Entries[1].Efficiency = 0.2
+	v := CheckScaling(scalingFixture(4), cur, 10)
+	if len(v) != 1 || !strings.Contains(v[0], "below the floor") {
+		t.Errorf("efficiency below floor not flagged: %v", v)
+	}
+	// Same numbers on a single-CPU machine measure overhead, not scaling:
+	// the floor stands down.
+	cur.GoMaxProcs = 1
+	if v := CheckScaling(scalingFixture(4), cur, 10); len(v) != 0 {
+		t.Errorf("floor applied on a 1-CPU run: %v", v)
+	}
+}
+
+func TestCheckScalingWorkDrift(t *testing.T) {
+	cur := scalingFixture(4)
+	cur.Entries[1].Work = map[string]int64{"shard.00.miner.candidates": 50}
+	v := CheckScaling(scalingFixture(4), cur, 10)
+	if len(v) != 1 || !strings.Contains(v[0], "shard.00.miner.candidates") {
+		t.Errorf("work drift not flagged: %v", v)
+	}
+	// Two-sided: shrinking work is flagged too.
+	cur.Entries[1].Work = map[string]int64{"shard.00.miner.candidates": 1}
+	if v := CheckScaling(scalingFixture(4), cur, 10); len(v) != 1 {
+		t.Errorf("shrunken work not flagged: %v", v)
+	}
+}
+
+func TestCheckScalingMissingShardCount(t *testing.T) {
+	cur := scalingFixture(4)
+	cur.Entries = cur.Entries[:1]
+	v := CheckScaling(scalingFixture(4), cur, 10)
+	if len(v) != 1 || !strings.Contains(v[0], "shard count 4 missing") {
+		t.Errorf("missing shard count not flagged: %v", v)
+	}
+}
+
+func TestRunScalingSmall(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunScaling(context.Background(), &buf, ScalingOptions{
+		Counts: []int{1, 2}, Scale: 0.1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+	if res.Entries[0].Shards != 1 || res.Entries[0].Speedup != 1 {
+		t.Errorf("reference entry = %+v", res.Entries[0])
+	}
+	if res.Entries[1].Shards != 2 {
+		t.Errorf("second entry shards = %d", res.Entries[1].Shards)
+	}
+	if len(res.Entries[1].Work) == 0 {
+		t.Error("no work counters recorded")
+	}
+	if !strings.Contains(buf.String(), "scaling:") {
+		t.Errorf("missing table header:\n%s", buf.String())
+	}
+}
+
+func TestRunScalingRejectsBadCounts(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := RunScaling(context.Background(), &buf, ScalingOptions{Counts: []int{2, 4}}); err == nil {
+		t.Error("counts not starting at 1 accepted")
+	}
+}
+
+func TestMineShardedMatchesSingle(t *testing.T) {
+	ds, err := Generate(GenOptions{Kind: "zebra", N: 12, Len: 25, U: 0.02, C: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := MineOptions{K: 5, GridN: 8, MinLen: 1, MaxLen: 4, DeltaMul: 1, Measure: "nm"}
+	var single bytes.Buffer
+	ref, err := Mine(context.Background(), &single, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Shards = 3
+	var buf bytes.Buffer
+	got, err := Mine(context.Background(), &buf, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("sharded returned %d patterns, single %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i].Key() != ref[i].Key() {
+			t.Errorf("rank %d: sharded %s vs single %s", i, got[i].Key(), ref[i].Key())
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "×3 shards") {
+		t.Errorf("missing shard header:\n%s", out)
+	}
+	if !strings.Contains(out, "merge:") {
+		t.Errorf("missing merge summary:\n%s", out)
+	}
+}
+
+func TestMineShardedRejectsOtherMeasures(t *testing.T) {
+	ds, err := Generate(GenOptions{Kind: "zebra", N: 6, Len: 15, U: 0.02, C: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Mine(context.Background(), &buf, ds, MineOptions{
+		K: 3, GridN: 8, MaxLen: 3, DeltaMul: 1, Measure: "match", Shards: 2,
+	}); err == nil {
+		t.Error("sharded non-nm measure accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"trajpattern/internal/core"
+)
+
+// CheckpointPath returns the checkpoint file for shard i of n under the
+// given path prefix — "prefix.shard-002-of-008". With one shard it
+// returns the prefix itself, so a single-shard run reads and writes the
+// same file as the unsharded miner.
+func CheckpointPath(prefix string, i, n int) string {
+	if n <= 1 {
+		return prefix
+	}
+	return fmt.Sprintf("%s.shard-%03d-of-%03d", prefix, i, n)
+}
+
+// LoadCheckpoints reads the per-shard checkpoints under prefix for an
+// n-shard run. Missing files yield nil entries — those shards start
+// fresh — and found reports how many were present, so a caller can tell
+// "resuming 3 of 4 shards" from "starting fresh". A present-but-corrupt
+// checkpoint is an error: silently restarting a shard the caller thought
+// was resumable would burn its saved work without a word.
+func LoadCheckpoints(prefix string, n int) (cks []*core.Checkpoint, found int, err error) {
+	cks = make([]*core.Checkpoint, n)
+	for i := 0; i < n; i++ {
+		ck, err := core.LoadCheckpoint(CheckpointPath(prefix, i, n))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			return nil, 0, fmt.Errorf("shard %d/%d: %w", i, n, err)
+		}
+		cks[i] = ck
+		found++
+	}
+	return cks, found, nil
+}

@@ -1,0 +1,84 @@
+package shard
+
+import "sync"
+
+// runTasks executes a fixed batch of independent tasks on up to `workers`
+// goroutines using work-stealing deques: task i is dealt to deque i mod w,
+// each worker drains its own deque from the back (LIFO keeps the freshly
+// dealt work warm), and an idle worker steals from the front of its peers'
+// deques (FIFO takes the oldest — largest remaining — job first), scanning
+// peers in a fixed round-robin order starting at its right neighbour.
+//
+// Shard mining jobs are coarse and their durations skew with the data
+// partition, so stealing is what keeps late workers from idling while one
+// deque still holds queued shards (the `-shards 16` on 4 cores case).
+// Tasks only ever write to their own result slot, so the stealing order —
+// the one scheduling-dependent choice here — cannot affect any output.
+func runTasks(workers int, tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+
+	d := &deques{queues: make([][]int, workers)}
+	for i := range tasks {
+		w := i % workers
+		d.queues[w] = append(d.queues[w], i)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				i, ok := d.next(self)
+				if !ok {
+					return
+				}
+				tasks[i]()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// deques is the shared work-stealing state of one runTasks call. One
+// mutex guards all queues: the tasks are coarse (whole shard searches),
+// so queue operations are far off any hot path and coarse locking keeps
+// the invariants trivial.
+type deques struct {
+	mu     sync.Mutex
+	queues [][]int
+}
+
+// next returns the next task index for worker self: the back of its own
+// deque, else the front of the first non-empty peer deque in round-robin
+// scan order. ok is false when every deque is empty.
+func (d *deques) next(self int) (task int, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if q := d.queues[self]; len(q) > 0 {
+		task = q[len(q)-1]
+		d.queues[self] = q[:len(q)-1]
+		return task, true
+	}
+	n := len(d.queues)
+	for off := 1; off < n; off++ {
+		victim := (self + off) % n
+		if q := d.queues[victim]; len(q) > 0 {
+			task = q[0]
+			d.queues[victim] = q[1:]
+			return task, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,361 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"trajpattern/internal/core"
+	"trajpattern/internal/datagen"
+	"trajpattern/internal/grid"
+	"trajpattern/internal/obs"
+)
+
+// zebraScorer builds a scorer over a small seeded zebra dataset on an
+// n×n unit-square grid with δ equal to the cell size.
+func zebraScorer(t *testing.T, seed uint64, zebras, avgLen, n int) *core.Scorer {
+	t.Helper()
+	ds, err := datagen.ZebraDataset(datagen.ZebraConfig{
+		NumZebras: zebras, NumGroups: 3, AvgLen: avgLen, Seed: seed,
+	}, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grid.NewSquare(n)
+	s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func patternKeys(ps []core.ScoredPattern) []string {
+	keys := make([]string, len(ps))
+	for i, p := range ps {
+		keys[i] = p.Pattern.Key()
+	}
+	return keys
+}
+
+// TestShardedTopKMatchesUnsharded is the merge-soundness property test:
+// on seeded datagen datasets, the sharded engine must return exactly the
+// single-partition miner's top-k — same patterns in the same order —
+// across k values and shard counts, including counts that do not divide
+// the object count evenly.
+func TestShardedTopKMatchesUnsharded(t *testing.T) {
+	for _, seed := range []uint64{3, 17} {
+		s := zebraScorer(t, seed, 11, 24, 10)
+		for _, shards := range []int{1, 2, 3, 8} {
+			eng, err := NewEngine(s, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 5, 20} {
+				cfg := core.MinerConfig{K: k, MaxLowQ: 4 * k}
+				want, err := core.Mine(context.Background(), s, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.Mine(context.Background(), cfg, nil)
+				if err != nil {
+					t.Fatalf("seed=%d shards=%d k=%d: %v", seed, shards, k, err)
+				}
+				if got.Interrupted {
+					t.Fatalf("seed=%d shards=%d k=%d: unexpectedly interrupted: %s", seed, shards, k, got.InterruptReason)
+				}
+				wk, gk := patternKeys(want.Patterns), patternKeys(got.Patterns)
+				if len(wk) != len(gk) {
+					t.Fatalf("seed=%d shards=%d k=%d: %d patterns, want %d", seed, shards, k, len(gk), len(wk))
+				}
+				for i := range wk {
+					if wk[i] != gk[i] {
+						t.Errorf("seed=%d shards=%d k=%d rank %d: pattern %s, want %s",
+							seed, shards, k, i, gk[i], wk[i])
+					}
+					// Summation regrouping across shards may move the
+					// merged NM by ulps, never more.
+					if d := math.Abs(want.Patterns[i].NM - got.Patterns[i].NM); d > 1e-9*(1+math.Abs(want.Patterns[i].NM)) {
+						t.Errorf("seed=%d shards=%d k=%d rank %d: NM %v, want %v",
+							seed, shards, k, i, got.Patterns[i].NM, want.Patterns[i].NM)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardSingularBoundIsSound checks the merge's min-max inequality
+// directly: for every shard and a family of multi-cell patterns, the
+// bound computed from singular NMs must dominate the true shard NM.
+func TestShardSingularBoundIsSound(t *testing.T) {
+	s := zebraScorer(t, 5, 9, 20, 8)
+	eng, err := NewEngine(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := s.ObservedCells(1)
+	for si, sc := range eng.scorers {
+		memo := map[string]float64{}
+		for _, c := range seeds {
+			memo[strconv.Itoa(c)] = sc.NM(core.Pattern{c})
+		}
+		for i := 0; i+2 < len(seeds); i += 3 {
+			p := core.Pattern{seeds[i], seeds[i+1], seeds[i+2]}
+			nm := sc.NM(p)
+			if ub := singularBound(memo, p); nm > ub+1e-12 {
+				t.Errorf("shard %d: NM(%s) = %v exceeds bound %v", si, p.Key(), nm, ub)
+			}
+		}
+	}
+	// A cell missing from the memo must fall back to the global maximum 0.
+	if ub := singularBound(map[string]float64{}, core.Pattern{1, 2}); ub != 0 {
+		t.Errorf("empty-memo bound = %v, want 0", ub)
+	}
+}
+
+// TestShardEngineClamps checks partition shapes: shard counts above the
+// trajectory count clamp, and uneven divisions differ by at most one.
+func TestShardEngineClamps(t *testing.T) {
+	s := zebraScorer(t, 1, 7, 12, 8)
+	eng, err := NewEngine(s, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Shards() != 7 {
+		t.Fatalf("Shards() = %d, want clamp to 7", eng.Shards())
+	}
+	eng, err = NewEngine(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, min, max := 0, eng.sizes[0], eng.sizes[0]
+	for _, sz := range eng.sizes {
+		total += sz
+		if sz < min {
+			min = sz
+		}
+		if sz > max {
+			max = sz
+		}
+	}
+	if total != 7 || max-min > 1 {
+		t.Fatalf("partition sizes %v do not cover 7 trajectories near-evenly", eng.sizes)
+	}
+	if _, err := NewEngine(nil, 2); err == nil {
+		t.Fatal("nil scorer accepted")
+	}
+}
+
+// TestShardMineCancelledContextDegrades: a cancelled context must yield a
+// best-so-far (possibly empty) result with Interrupted set, not an error.
+func TestShardMineCancelledContextDegrades(t *testing.T) {
+	s := zebraScorer(t, 2, 8, 16, 8)
+	eng, err := NewEngine(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := eng.Mine(ctx, core.MinerConfig{K: 5}, nil)
+	if err != nil {
+		t.Fatalf("cancelled run errored: %v", err)
+	}
+	if !res.Interrupted || res.InterruptReason == "" {
+		t.Fatalf("cancelled run not marked interrupted: %+v", res)
+	}
+}
+
+// TestShardCheckpointResumeMatchesUninterrupted interrupts a sharded run
+// at an iteration bound, resumes every shard from its checkpoint, and
+// requires the resumed run's answer to equal the uninterrupted run's
+// exactly (same patterns, bit-equal NMs).
+func TestShardCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	s := zebraScorer(t, 7, 10, 20, 10)
+	n := 4
+	eng, err := NewEngine(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.MinerConfig{K: 8, MaxLowQ: 32}
+	full, err := eng.Mine(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prefix := filepath.Join(t.TempDir(), "ck")
+	short := cfg
+	short.MaxIters = 2
+	short.CheckpointPath = prefix
+	if _, err := eng.Mine(context.Background(), short, nil); err != nil {
+		t.Fatal(err)
+	}
+	cks, found, err := LoadCheckpoints(prefix, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != n {
+		t.Fatalf("found %d checkpoints, want %d", found, n)
+	}
+	resumed, err := eng.Mine(context.Background(), cfg, cks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, rk := patternKeys(full.Patterns), patternKeys(resumed.Patterns)
+	if len(fk) != len(rk) {
+		t.Fatalf("resumed run: %d patterns, want %d", len(rk), len(fk))
+	}
+	for i := range fk {
+		//trajlint:allow floatcmp -- resume is replay: NMs must be bit-equal, not merely close
+		if fk[i] != rk[i] || full.Patterns[i].NM != resumed.Patterns[i].NM {
+			t.Errorf("rank %d: resumed (%s, %v) != uninterrupted (%s, %v)",
+				i, rk[i], resumed.Patterns[i].NM, fk[i], full.Patterns[i].NM)
+		}
+	}
+}
+
+// TestShardCheckpointRefusesWrongSlot: a checkpoint taken for one shard
+// slot must not resume another, even though the partitions have the same
+// shape — the fingerprint carries the slot.
+func TestShardCheckpointRefusesWrongSlot(t *testing.T) {
+	s := zebraScorer(t, 9, 8, 16, 8)
+	n := 2
+	eng, err := NewEngine(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(t.TempDir(), "ck")
+	cfg := core.MinerConfig{K: 4, MaxIters: 2, CheckpointPath: prefix}
+	if _, err := eng.Mine(context.Background(), cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	cks, _, err := LoadCheckpoints(prefix, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cks[0], cks[1] = cks[1], cks[0]
+	if _, err := eng.Mine(context.Background(), core.MinerConfig{K: 4}, cks); err == nil {
+		t.Fatal("swapped per-shard checkpoints accepted")
+	}
+}
+
+// TestShardMetricsFlushPrefixed: per-shard miner counters land under
+// "shard.NN.miner.*", merge counters under "shard.merge.*", and no
+// unprefixed miner counters leak from the shard searches.
+func TestShardMetricsFlushPrefixed(t *testing.T) {
+	s := zebraScorer(t, 4, 8, 16, 8)
+	eng, err := NewEngine(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	if _, err := eng.Mine(context.Background(), core.MinerConfig{K: 4, Metrics: reg}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{"shard.00.miner.iterations", "shard.01.miner.iterations", "shard.merge.candidates"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %q missing or zero; have %v", name, snap.Counters)
+		}
+	}
+	if _, ok := snap.Counters["miner.iterations"]; ok {
+		t.Error("unprefixed miner.iterations leaked from a shard search")
+	}
+}
+
+// TestShardSingleDelegates: a one-shard engine must behave exactly like
+// core.Mine on the original scorer — same patterns, same NMs, and the
+// plain unprefixed counter names the bench baseline expects.
+func TestShardSingleDelegates(t *testing.T) {
+	s := zebraScorer(t, 6, 6, 14, 8)
+	reg := obs.New()
+	cfg := core.MinerConfig{K: 3, Metrics: reg}
+	want, err := core.Mine(context.Background(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Mine(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 1 || len(eng.scorers) != 0 {
+		t.Fatalf("one-shard engine built shard scorers: %+v", got)
+	}
+	wk, gk := patternKeys(want.Patterns), patternKeys(got.Patterns)
+	for i := range wk {
+		//trajlint:allow floatcmp -- delegation must be bit-identical
+		if wk[i] != gk[i] || want.Patterns[i].NM != got.Patterns[i].NM {
+			t.Fatalf("delegated result differs at rank %d", i)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["miner.iterations"] == 0 {
+		t.Error("one-shard engine did not use the plain miner counters")
+	}
+	for name := range snap.Counters {
+		if len(name) >= 6 && name[:6] == "shard." {
+			t.Errorf("one-shard engine emitted sharded counter %q", name)
+		}
+	}
+}
+
+// TestShardPoolExecutesEveryTask: every task runs exactly once for any
+// worker/task-count combination, including stealing-heavy shapes.
+func TestShardPoolExecutesEveryTask(t *testing.T) {
+	for _, tc := range []struct{ workers, tasks int }{
+		{1, 5}, {2, 2}, {3, 10}, {8, 3}, {4, 64}, {2, 0},
+	} {
+		ran := make([]int32, tc.tasks)
+		tasks := make([]func(), tc.tasks)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { atomic.AddInt32(&ran[i], 1) }
+		}
+		runTasks(tc.workers, tasks)
+		for i, c := range ran {
+			if c != 1 {
+				t.Errorf("workers=%d tasks=%d: task %d ran %d times", tc.workers, tc.tasks, i, c)
+			}
+		}
+	}
+}
+
+// TestShardPoolSteals drives the deque state machine directly: a worker
+// with an empty deque must take the oldest entry of the next non-empty
+// peer, and local pops must come from the back.
+func TestShardPoolSteals(t *testing.T) {
+	d := &deques{queues: [][]int{{0, 2}, {1}, {}}}
+	if i, ok := d.next(0); !ok || i != 2 {
+		t.Fatalf("local pop = %d, want back entry 2", i)
+	}
+	if i, ok := d.next(2); !ok || i != 0 {
+		t.Fatalf("steal = %d, want front of first non-empty peer (0)", i)
+	}
+	if i, ok := d.next(2); !ok || i != 1 {
+		t.Fatalf("second steal = %d, want 1", i)
+	}
+	if _, ok := d.next(1); ok {
+		t.Fatal("drained deques still yielded work")
+	}
+}
+
+// TestShardMineRejectsBadResume covers the engine's argument contract.
+func TestShardMineRejectsBadResume(t *testing.T) {
+	s := zebraScorer(t, 8, 6, 12, 8)
+	eng, err := NewEngine(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Mine(context.Background(), core.MinerConfig{K: 2}, make([]*core.Checkpoint, 3)); err == nil {
+		t.Fatal("mismatched resume length accepted")
+	}
+	if _, err := eng.Mine(context.Background(), core.MinerConfig{K: 2, Resume: &core.Checkpoint{Version: core.CheckpointVersion}}, nil); err == nil {
+		t.Fatal("cfg.Resume accepted on a multi-shard engine")
+	}
+}

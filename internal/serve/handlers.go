@@ -102,12 +102,16 @@ type MineRequest struct {
 // the wall-time budget (or the caller's deadline) fired before the
 // algorithm's own termination test, so Patterns is the best-so-far top-k
 // rather than the converged answer — served as 200, not an error.
+// Shards is the number of dataset partitions the run was mined over;
+// values above 1 mean the server's sharded engine handled the request
+// (Iterations and Candidates then aggregate over all shards).
 type MineResponse struct {
 	Patterns        []ScoredPatternJSON `json:"patterns"`
 	Degraded        bool                `json:"degraded"`
 	InterruptReason string              `json:"interrupt_reason,omitempty"`
 	Iterations      int                 `json:"iterations"`
 	Candidates      int                 `json:"candidates"`
+	Shards          int                 `json:"shards,omitempty"`
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -122,37 +126,64 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			wall = asked
 		}
 	}
-	res, err := core.Mine(r.Context(), s.scorer, core.MinerConfig{
+	mcfg := core.MinerConfig{
 		K:           req.K,
 		MinLen:      req.MinLen,
 		MaxLen:      req.MaxLen,
 		MaxWallTime: wall,
 		Metrics:     s.cfg.Metrics,
 		Tracer:      s.cfg.Tracer,
-	})
-	if err != nil {
-		var cfgErr *core.ConfigError
-		if errors.As(err, &cfgErr) {
-			s.writeError(w, http.StatusBadRequest, "bad_config", cfgErr.Error())
+	}
+	var resp MineResponse
+	var patterns []core.ScoredPattern
+	if s.engine != nil {
+		res, err := s.engine.Mine(r.Context(), mcfg, nil)
+		if err != nil {
+			s.writeMineError(w, r, err)
 			return
 		}
-		s.writeScoreError(w, r, err)
-		return
+		patterns = res.Patterns
+		resp = MineResponse{
+			Degraded:        res.Interrupted,
+			InterruptReason: res.InterruptReason,
+			Iterations:      res.Total.Iterations,
+			Candidates:      res.Total.Candidates,
+			Shards:          res.Shards,
+		}
+	} else {
+		res, err := core.Mine(r.Context(), s.scorer, mcfg)
+		if err != nil {
+			s.writeMineError(w, r, err)
+			return
+		}
+		patterns = res.Patterns
+		resp = MineResponse{
+			Degraded:        res.Interrupted,
+			InterruptReason: res.InterruptReason,
+			Iterations:      res.Stats.Iterations,
+			Candidates:      res.Stats.Candidates,
+		}
 	}
-	resp := MineResponse{
-		Patterns:        make([]ScoredPatternJSON, len(res.Patterns)),
-		Degraded:        res.Interrupted,
-		InterruptReason: res.InterruptReason,
-		Iterations:      res.Stats.Iterations,
-		Candidates:      res.Stats.Candidates,
-	}
-	for i, sp := range res.Patterns {
+	resp.Patterns = make([]ScoredPatternJSON, len(patterns))
+	for i, sp := range patterns {
 		resp.Patterns[i] = ScoredPatternJSON{Cells: sp.Pattern, NM: sp.NM}
 	}
-	if len(res.Patterns) > 0 {
-		s.SetPatterns(res.Patterns)
+	if len(patterns) > 0 {
+		s.SetPatterns(patterns)
 	}
 	writeJSON(w, resp)
+}
+
+// writeMineError maps a mining failure onto the wire: a *core.ConfigError
+// is the caller's fault (400); everything else follows the score-error
+// taxonomy (503 on deadline/disconnect, 500 on panic or other faults).
+func (s *Server) writeMineError(w http.ResponseWriter, r *http.Request, err error) {
+	var cfgErr *core.ConfigError
+	if errors.As(err, &cfgErr) {
+		s.writeError(w, http.StatusBadRequest, "bad_config", cfgErr.Error())
+		return
+	}
+	s.writeScoreError(w, r, err)
 }
 
 // PointJSON is one observed or predicted position.

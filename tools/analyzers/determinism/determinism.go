@@ -1,6 +1,7 @@
 // Package determinism enforces the reproducibility contract of the
-// deterministic packages (internal/core, internal/stat, internal/exp,
-// internal/report): for a fixed seed and scale, a run's observable outputs
+// deterministic packages (internal/core, internal/core/shard,
+// internal/stat, internal/exp, internal/report): for a fixed seed and
+// scale, a run's observable outputs
 // — mined patterns, work counters, reports, serialized results — must be
 // bit-identical across runs, because the CI bench gate compares them
 // against a committed baseline.
@@ -59,7 +60,7 @@ var pkgs string
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs",
-		"trajpattern/internal/core,trajpattern/internal/stat,trajpattern/internal/exp,trajpattern/internal/report",
+		"trajpattern/internal/core,trajpattern/internal/core/shard,trajpattern/internal/stat,trajpattern/internal/exp,trajpattern/internal/report",
 		"comma-separated package paths (or /-suffixes) held to the determinism contract")
 }
 

@@ -13,6 +13,11 @@ func TestDeterminism(t *testing.T) {
 		filepath.Join("testdata", "src", "core"), "trajpattern/internal/core")
 }
 
+func TestDeterminismShardPackage(t *testing.T) {
+	checktest.Run(t, determinism.Analyzer,
+		filepath.Join("testdata", "src", "shard"), "trajpattern/internal/core/shard")
+}
+
 func TestDeterminismOutsideScope(t *testing.T) {
 	checktest.Run(t, determinism.Analyzer,
 		filepath.Join("testdata", "src", "outside"), "trajpattern/internal/cli")

@@ -1,0 +1,70 @@
+// Fixture proving the determinism contract extends to the sharded miner:
+// merge-order bugs here are exactly the kind the analyzer exists to catch,
+// because the merged top-k must be bit-identical however shards interleave.
+package shard
+
+import (
+	"sort"
+	"time"
+)
+
+// mergeTimed reads the wall clock to stamp a merge: forbidden, the engine
+// threads an obs.Timer instead.
+func mergeTimed() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package shard`
+}
+
+// candidateUnion collects merge candidates straight out of per-shard memo
+// maps without sorting: the union's order — and with it the merged top-k's
+// tie-breaks — would vary run to run.
+func candidateUnion(memos []map[string]float64) []string {
+	var keys []string
+	for _, memo := range memos {
+		for k := range memo { // want `slice keys built from map iteration is never sorted in this block`
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// candidateUnionSorted sorts each memo's keys in the same block that
+// collects them, before folding them into the union: good. (The sort must
+// sit in the block of the map range itself — a sort after the outer loop
+// is outside the analyzer's block-local proof.)
+func candidateUnionSorted(memos []map[string]float64) []string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, memo := range memos {
+		ks := make([]string, 0, len(memo))
+		for k := range memo {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// sumBounds accumulates per-shard float bounds in map order: float
+// addition does not commute bit-exactly, so the merged NM would wobble.
+func sumBounds(memo map[string]float64) float64 {
+	var total float64
+	for _, nm := range memo {
+		total += nm // want `floating-point accumulation into total in map-iteration order`
+	}
+	return total
+}
+
+// sumBoundsSorted walks the shards in fixed index order: good.
+func sumBoundsSorted(memo map[string]float64, keys []string) float64 {
+	var total float64
+	for _, k := range keys {
+		total += memo[k]
+	}
+	return total
+}
