@@ -31,10 +31,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"trajpattern/internal/cli"
+	"trajpattern/internal/obs/slogx"
 	"trajpattern/internal/trace"
 )
 
@@ -54,12 +56,21 @@ func main() {
 		dbgAddr    = flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /trace/status on this address")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+
+		logFlags cli.LogFlags
 	)
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
+	logger, lerr := logFlags.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "trajbench: %v\n", lerr)
+		os.Exit(2)
+	}
+	lc := cli.Lifecycle{W: os.Stderr, Logger: logger}
 
 	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "trajbench: %v\n", err)
+		lc.Error(fmt.Sprintf("trajbench: %v", err), "start profiles failed", slogx.Err(err))
 		os.Exit(1)
 	}
 
@@ -71,11 +82,11 @@ func main() {
 	if *dbgAddr != "" {
 		url, stop, derr := cli.StartDebugServer(*dbgAddr, holder, tracer)
 		if derr != nil {
-			fmt.Fprintf(os.Stderr, "trajbench: %v\n", derr)
+			lc.Error(fmt.Sprintf("trajbench: %v", derr), "debug server failed", slogx.Err(derr))
 			os.Exit(1)
 		}
 		defer stop() //nolint:errcheck // process is exiting anyway
-		fmt.Fprintf(os.Stderr, "trajbench: debug server at %s\n", url)
+		lc.Notice(fmt.Sprintf("trajbench: debug server at %s", url), "debug server up", slog.String("url", url))
 	}
 	var printer *cli.ProgressPrinter
 	if *prog {
@@ -84,7 +95,7 @@ func main() {
 
 	// First SIGINT/SIGTERM stops between experiments and still flushes
 	// completed results and the trace journal; a second aborts.
-	ctx, stopSignals := cli.SignalContext(context.Background(), os.Stderr, "trajbench")
+	ctx, stopSignals := cli.SignalContextLogged(context.Background(), lc, "trajbench")
 	defer stopSignals()
 
 	_, err = cli.RunBench(ctx, os.Stdout, cli.BenchOptions{
@@ -104,22 +115,23 @@ func main() {
 	stopSignals()
 	printer.Done()
 	if terr := cli.SaveTrace(*trcPath, tracer); terr != nil {
-		fmt.Fprintf(os.Stderr, "trajbench: %v\n", terr)
+		lc.Error(fmt.Sprintf("trajbench: %v", terr), "save trace failed", slogx.Err(terr))
 		if err == nil {
 			err = terr
 		}
 	} else if tracer != nil {
-		fmt.Fprintf(os.Stderr, "trajbench: wrote %d trace records to %s (+ %s.json)\n",
-			tracer.Len(), *trcPath, *trcPath)
+		lc.Notice(fmt.Sprintf("trajbench: wrote %d trace records to %s (+ %s.json)",
+			tracer.Len(), *trcPath, *trcPath),
+			"trace written", slog.Int("records", tracer.Len()), slog.String("path", *trcPath))
 	}
 	if perr := stopProfiles(); perr != nil {
-		fmt.Fprintf(os.Stderr, "trajbench: %v\n", perr)
+		lc.Error(fmt.Sprintf("trajbench: %v", perr), "stop profiles failed", slogx.Err(perr))
 		if err == nil {
 			err = perr
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%v\n", err)
+		lc.Error(fmt.Sprintf("%v", err), "fatal", slogx.Err(err))
 		os.Exit(1)
 	}
 }

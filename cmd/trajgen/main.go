@@ -18,9 +18,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"trajpattern/internal/cli"
+	"trajpattern/internal/obs/slogx"
 	"trajpattern/internal/traj"
 )
 
@@ -34,32 +36,52 @@ func main() {
 		c     = flag.Float64("c", 2, "confidence constant c (σ = U/c)")
 		scale = flag.Float64("scale", 1, "bus dataset scale (1 = 500 traces)")
 		seed  = flag.Uint64("seed", 1, "random seed")
+
+		logFlags cli.LogFlags
 	)
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "trajgen: -out is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger, lerr := logFlags.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "trajgen: %v\n", lerr)
+		os.Exit(2)
+	}
+	lc := cli.Lifecycle{W: os.Stderr, Logger: logger}
 	// A SIGINT/SIGTERM before the (atomic) write leaves any existing output
 	// file untouched; a partial dataset is never written.
-	ctx, stopSignals := cli.SignalContext(context.Background(), os.Stderr, "trajgen")
+	ctx, stopSignals := cli.SignalContextLogged(context.Background(), lc, "trajgen")
 	defer stopSignals()
 	ds, err := cli.Generate(cli.GenOptions{
 		Kind: *kind, N: *n, Len: *ln, U: *u, C: *c, Scale: *scale, Seed: *seed,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "trajgen: %v\n", err)
+		lc.Error(fmt.Sprintf("trajgen: %v", err), "generate failed", slogx.Err(err))
 		os.Exit(1)
 	}
 	if ctx.Err() != nil {
-		fmt.Fprintf(os.Stderr, "trajgen: interrupted (%v); not writing %s\n", context.Cause(ctx), *out)
+		lc.Error(fmt.Sprintf("trajgen: interrupted (%v); not writing %s", context.Cause(ctx), *out),
+			"interrupted — output not written",
+			slog.String("cause", fmt.Sprint(context.Cause(ctx))), slog.String("path", *out))
 		os.Exit(1)
 	}
 	if err := traj.WriteFile(*out, ds); err != nil {
-		fmt.Fprintf(os.Stderr, "trajgen: %v\n", err)
+		lc.Error(fmt.Sprintf("trajgen: %v", err), "write failed", slogx.Err(err))
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d trajectories (avg length %.1f, mean σ %.4g) to %s\n",
-		ds.NumTrajectories(), ds.AvgLength(), ds.MeanSigma(), *out)
+	// The result line goes to stdout in plain mode (it is the command's
+	// output, not a status note), and becomes a structured record like the
+	// other lifecycle events otherwise.
+	done := cli.Lifecycle{W: os.Stdout, Logger: logger}
+	done.Notice(fmt.Sprintf("wrote %d trajectories (avg length %.1f, mean σ %.4g) to %s",
+		ds.NumTrajectories(), ds.AvgLength(), ds.MeanSigma(), *out),
+		"dataset written",
+		slog.Int("trajectories", ds.NumTrajectories()),
+		slog.Float64("avg_len", ds.AvgLength()),
+		slog.Float64("mean_sigma", ds.MeanSigma()),
+		slog.String("path", *out))
 }

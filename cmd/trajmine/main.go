@@ -20,11 +20,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 
 	"trajpattern/internal/cli"
 	"trajpattern/internal/obs"
+	"trajpattern/internal/obs/slogx"
 	"trajpattern/internal/trace"
 	"trajpattern/internal/traj"
 )
@@ -64,21 +66,30 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "write crash-safe miner checkpoints to this file (nm only)")
 		ckEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in iterations")
 		resume  = flag.Bool("resume", false, "restore miner state from -checkpoint before mining")
+
+		logFlags cli.LogFlags
 	)
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "trajmine: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger, lerr := logFlags.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "trajmine: %v\n", lerr)
+		os.Exit(2)
+	}
+	lc := cli.Lifecycle{W: os.Stderr, Logger: logger}
 	ds, err := traj.ReadFile(*in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "trajmine: %v\n", err)
+		lc.Error(fmt.Sprintf("trajmine: %v", err), "read dataset failed", slogx.Err(err))
 		os.Exit(1)
 	}
 	stopProfiles, err := cli.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "trajmine: %v\n", err)
+		lc.Error(fmt.Sprintf("trajmine: %v", err), "start profiles failed", slogx.Err(err))
 		os.Exit(1)
 	}
 
@@ -95,11 +106,11 @@ func main() {
 		holder.Set(reg)
 		url, stop, derr := cli.StartDebugServer(*dbgAddr, holder, tracer)
 		if derr != nil {
-			fmt.Fprintf(os.Stderr, "trajmine: %v\n", derr)
+			lc.Error(fmt.Sprintf("trajmine: %v", derr), "debug server failed", slogx.Err(derr))
 			os.Exit(1)
 		}
 		defer stop() //nolint:errcheck // process is exiting anyway
-		fmt.Fprintf(os.Stderr, "trajmine: debug server at %s\n", url)
+		lc.Notice(fmt.Sprintf("trajmine: debug server at %s", url), "debug server up", slog.String("url", url))
 	}
 	var printer *cli.ProgressPrinter
 	if *prog {
@@ -108,7 +119,7 @@ func main() {
 
 	// First SIGINT/SIGTERM drains the run gracefully (best-so-far report,
 	// partial saves, trace journal); a second aborts.
-	ctx, stopSignals := cli.SignalContext(context.Background(), os.Stderr, "trajmine")
+	ctx, stopSignals := cli.SignalContextLogged(context.Background(), lc, "trajmine")
 	defer stopSignals()
 
 	_, err = cli.Mine(ctx, os.Stdout, ds, cli.MineOptions{
@@ -136,22 +147,23 @@ func main() {
 	stopSignals()
 	printer.Done()
 	if terr := cli.SaveTrace(*trcPath, tracer); terr != nil {
-		fmt.Fprintf(os.Stderr, "trajmine: %v\n", terr)
+		lc.Error(fmt.Sprintf("trajmine: %v", terr), "save trace failed", slogx.Err(terr))
 		if err == nil {
 			err = terr
 		}
 	} else if tracer != nil {
-		fmt.Fprintf(os.Stderr, "trajmine: wrote %d trace records to %s (+ %s.json)\n",
-			tracer.Len(), *trcPath, *trcPath)
+		lc.Notice(fmt.Sprintf("trajmine: wrote %d trace records to %s (+ %s.json)",
+			tracer.Len(), *trcPath, *trcPath),
+			"trace written", slog.Int("records", tracer.Len()), slog.String("path", *trcPath))
 	}
 	if perr := stopProfiles(); perr != nil {
-		fmt.Fprintf(os.Stderr, "trajmine: %v\n", perr)
+		lc.Error(fmt.Sprintf("trajmine: %v", perr), "stop profiles failed", slogx.Err(perr))
 		if err == nil {
 			err = perr
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "trajmine: %v\n", err)
+		lc.Error(fmt.Sprintf("trajmine: %v", err), "fatal", slogx.Err(err))
 		os.Exit(1)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"trajpattern/internal/cli"
 	"trajpattern/internal/exp"
+	"trajpattern/internal/obs/slogx"
 )
 
 func main() {
@@ -26,11 +27,20 @@ func main() {
 		k      = flag.Int("k", 50, "patterns to mine")
 		minLen = flag.Int("minlen", 4, "minimum pattern length (the paper uses 4)")
 		seed   = flag.Uint64("seed", 1, "random seed")
+
+		logFlags cli.LogFlags
 	)
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
+	logger, lerr := logFlags.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "trajpredict: %v\n", lerr)
+		os.Exit(2)
+	}
+	lc := cli.Lifecycle{W: os.Stderr, Logger: logger}
 
 	// First SIGINT/SIGTERM cancels the experiment; a second aborts.
-	ctx, stopSignals := cli.SignalContext(context.Background(), os.Stderr, "trajpredict")
+	ctx, stopSignals := cli.SignalContextLogged(context.Background(), lc, "trajpredict")
 	defer stopSignals()
 
 	res, err := exp.RunE2(ctx, exp.E2Options{
@@ -39,7 +49,7 @@ func main() {
 		MinLen: *minLen,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "trajpredict: %v\n", err)
+		lc.Error(fmt.Sprintf("trajpredict: %v", err), "fatal", slogx.Err(err))
 		os.Exit(1)
 	}
 	fmt.Println(res.Table.String())

@@ -11,8 +11,11 @@
 //	trajserve -in bus.jsonl -patterns mined.json -capacity 16 -queue 32
 //	trajserve -in zebra.jsonl -mine-shards 4 -capacity 16
 //	trajserve -in zebra.jsonl -trace run.trace -debug-addr localhost:6060
+//	trajserve -in zebra.jsonl -log-format json -log-level info
 //
-// Routes: POST /v1/score, /v1/mine, /v1/predict; GET /healthz, /readyz.
+// Routes: POST /v1/score, /v1/mine, /v1/predict; GET /healthz, /readyz,
+// /metrics (Prometheus text exposition; ?format=json for the stamped
+// report).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"os"
 
 	"trajpattern/internal/cli"
+	"trajpattern/internal/obs/slogx"
 	"trajpattern/internal/serve"
 )
 
@@ -42,18 +46,26 @@ func main() {
 		trcPath  = flag.String("trace", "", "record request/miner spans and write the journal here at exit")
 		metOut   = flag.String("metricsout", "", "write the provenance-stamped metrics report (JSON) here at exit")
 		dbgAddr  = flag.String("debug-addr", "", "serve pprof, expvar, /metrics and /trace/status on this address")
+		logFlags cli.LogFlags
 	)
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "trajserve: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trajserve: %v\n", err)
+		os.Exit(2)
+	}
+	lc := cli.Lifecycle{W: os.Stderr, Logger: logger}
 
-	ctx, stop := cli.SignalContext(context.Background(), os.Stderr, "trajserve")
+	ctx, stop := cli.SignalContextLogged(context.Background(), lc, "trajserve")
 	defer stop()
 
-	err := serve.Run(ctx, serve.Options{
+	err = serve.Run(ctx, serve.Options{
 		Addr:         *addr,
 		DataPath:     *in,
 		PatternsPath: *patterns,
@@ -74,9 +86,10 @@ func main() {
 		MetricsOut: *metOut,
 		DebugAddr:  *dbgAddr,
 		Log:        os.Stderr,
+		Logger:     logger,
 	}, nil)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "trajserve: %v\n", err)
+		lc.Error(fmt.Sprintf("trajserve: %v", err), "fatal", slogx.Err(err))
 		os.Exit(1)
 	}
 }

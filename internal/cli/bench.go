@@ -111,8 +111,9 @@ type BenchResult struct {
 // on goroutine scheduling or pool reuse; they are reported in Metrics but
 // excluded from the Work map the regression gate compares. Matched by
 // substring, not prefix, so per-shard copies ("shard.03.scorer.scratch.…")
-// stay excluded too.
-var nondeterministicFragments = []string{"scorer.scratch.", "scorer.worker."}
+// stay excluded too. "shard.pool." covers the work-stealing pool's
+// utilization counters (steals vary with which worker drains which deque).
+var nondeterministicFragments = []string{"scorer.scratch.", "scorer.worker.", "shard.pool."}
 
 // workCounters extracts the deterministic gate counters from a snapshot.
 func workCounters(s obs.Snapshot) map[string]int64 {

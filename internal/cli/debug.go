@@ -49,7 +49,8 @@ func (h *MetricsHolder) Snapshot() obs.Snapshot { return h.Registry().Snapshot()
 //	/debug/pprof/   the standard Go profiler endpoints
 //	/debug/vars     expvar (cmdline, memstats)
 //	/metrics        the live obs snapshot, text by default,
-//	                ?format=json for the provenance-stamped Report
+//	                ?format=json for the provenance-stamped Report,
+//	                ?format=prom for Prometheus text exposition
 //	/trace/status   live tracer summary (events buffered, open spans,
 //	                per-name counts) as JSON
 //
@@ -70,16 +71,23 @@ func StartDebugServer(addr string, metrics *MetricsHolder, tr *trace.Tracer) (ba
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Every branch sets an explicit Content-Type: scrapers and curl
+		// must never depend on net/http's sniffing, which would label the
+		// Prometheus exposition text/plain without its version parameter.
 		snap := metrics.Snapshot()
-		if r.URL.Query().Get("format") == "json" {
+		switch r.URL.Query().Get("format") {
+		case "json":
 			writeJSON(w, obs.NewReport(snap))
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if text := snap.String(); text != "" {
-			fmt.Fprint(w, text)
-		} else {
-			fmt.Fprintln(w, "(no metrics registry attached, or nothing recorded yet)")
+		case "prom":
+			w.Header().Set("Content-Type", obs.PromContentType)
+			_ = obs.WriteProm(w, obs.NewReport(snap))
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if text := snap.String(); text != "" {
+				fmt.Fprint(w, text)
+			} else {
+				fmt.Fprintln(w, "(no metrics registry attached, or nothing recorded yet)")
+			}
 		}
 	})
 	mux.HandleFunc("/trace/status", func(w http.ResponseWriter, r *http.Request) {
@@ -92,7 +100,7 @@ func StartDebugServer(addr string, metrics *MetricsHolder, tr *trace.Tracer) (ba
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "trajpattern debug server")
-		fmt.Fprintln(w, "  /metrics          live obs snapshot (?format=json for stamped JSON)")
+		fmt.Fprintln(w, "  /metrics          live obs snapshot (?format=json for stamped JSON, ?format=prom for Prometheus exposition)")
 		fmt.Fprintln(w, "  /trace/status     live tracer summary")
 		fmt.Fprintln(w, "  /debug/pprof/     Go profiler endpoints")
 		fmt.Fprintln(w, "  /debug/vars       expvar")

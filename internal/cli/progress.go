@@ -13,6 +13,18 @@ import (
 // when ProgressOptions leave the interval unset.
 const DefaultProgressInterval = 500 * time.Millisecond
 
+// etaWindow bounds the sliding window of the iterations/sec estimate:
+// samples older than this (on the miner's elapsed clock) are dropped, so
+// the rate tracks the current mining phase instead of averaging in the
+// cheap early iterations.
+const etaWindow = 10 * time.Second
+
+// progressSample is one Update's position on the iteration clock.
+type progressSample struct {
+	iter    int
+	elapsed time.Duration
+}
+
 // ProgressPrinter renders a miner's live state as a throttled one-line
 // status (iteration, |H|/|Q|, answer fill, candidate count, ETA bound),
 // the -progress flag of trajmine and trajbench. Updates arrive on the
@@ -23,12 +35,13 @@ type ProgressPrinter struct {
 	w     io.Writer
 	every time.Duration
 
-	mu     sync.Mutex
-	start  time.Time
-	last   time.Time
-	latest core.Progress
-	dirty  bool
-	wrote  bool
+	mu      sync.Mutex
+	start   time.Time
+	last    time.Time
+	latest  core.Progress
+	samples []progressSample
+	dirty   bool
+	wrote   bool
 }
 
 // NewProgressPrinter returns a printer writing to w at most once per
@@ -50,6 +63,14 @@ func (p *ProgressPrinter) Update(u core.Progress) {
 	defer p.mu.Unlock()
 	p.latest = u
 	p.dirty = true
+	// Every update feeds the rate window, printed or not: the throttle
+	// limits terminal writes, not the estimate's resolution.
+	if n := len(p.samples); n == 0 || u.Iteration > p.samples[n-1].iter {
+		p.samples = append(p.samples, progressSample{iter: u.Iteration, elapsed: u.Elapsed})
+	}
+	for len(p.samples) > 1 && u.Elapsed-p.samples[0].elapsed > etaWindow {
+		p.samples = p.samples[1:]
+	}
 	now := time.Now()
 	if !p.last.IsZero() && now.Sub(p.last) < p.every {
 		return
@@ -79,7 +100,7 @@ func (p *ProgressPrinter) print() {
 	u := p.latest
 	line := fmt.Sprintf("iter %d/%d  |H|=%d |Q|=%d  answer %d/%d  candidates %d  %s",
 		u.Iteration, u.MaxIters, u.HighSize, u.QSize, u.AnswerSize, u.K,
-		u.Candidates, etaString(u))
+		u.Candidates, p.etaString(u))
 	// \r + padding redraws in place on a terminal; each line still ends up
 	// on its own row in a captured log.
 	fmt.Fprintf(p.w, "\r%-78s", line)
@@ -87,18 +108,36 @@ func (p *ProgressPrinter) print() {
 	p.wrote = true
 }
 
-// etaString bounds the time remaining. The miner usually terminates well
-// before MaxIters, so the per-iteration extrapolation is reported as an
-// upper bound rather than an estimate.
-func etaString(u core.Progress) string {
+// rate returns iterations/sec over the sliding window, or the whole-run
+// average when the window has no spread yet (first updates, or updates
+// faster than the elapsed clock's resolution). Zero means "no estimate".
+// Caller holds p.mu.
+func (p *ProgressPrinter) rate(u core.Progress) float64 {
+	if n := len(p.samples); n > 1 {
+		dIter := p.samples[n-1].iter - p.samples[0].iter
+		dT := (p.samples[n-1].elapsed - p.samples[0].elapsed).Seconds()
+		if dIter > 0 && dT > 0 {
+			return float64(dIter) / dT
+		}
+	}
+	if u.Iteration > 0 && u.Elapsed > 0 {
+		return float64(u.Iteration) / u.Elapsed.Seconds()
+	}
+	return 0
+}
+
+// etaString bounds the time remaining from the sliding-window rate. The
+// miner usually terminates well before MaxIters, so the extrapolation is
+// reported as an upper bound rather than an estimate. Caller holds p.mu.
+func (p *ProgressPrinter) etaString(u core.Progress) string {
 	if u.Iteration <= 0 || u.Elapsed <= 0 {
 		return ""
 	}
-	if u.Iteration >= u.MaxIters {
+	rate := p.rate(u)
+	if u.Iteration >= u.MaxIters || rate <= 0 {
 		return fmt.Sprintf("elapsed %s", u.Elapsed.Round(100*time.Millisecond))
 	}
-	per := u.Elapsed / time.Duration(u.Iteration)
-	eta := per * time.Duration(u.MaxIters-u.Iteration)
-	return fmt.Sprintf("elapsed %s, ETA ≤ %s",
-		u.Elapsed.Round(100*time.Millisecond), eta.Round(100*time.Millisecond))
+	eta := time.Duration(float64(u.MaxIters-u.Iteration) / rate * float64(time.Second))
+	return fmt.Sprintf("elapsed %s, %.1f it/s, ETA ≤ %s",
+		u.Elapsed.Round(100*time.Millisecond), rate, eta.Round(100*time.Millisecond))
 }

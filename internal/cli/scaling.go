@@ -53,6 +53,12 @@ type ScalingEntry struct {
 	// (per-shard miner counters included), compared two-sided like the
 	// experiment counters.
 	Work map[string]int64 `json:"work,omitempty"`
+	// ShardWallNS and Skew carry the run's per-shard wall times and their
+	// imbalance summary (shard.Skew): timing-class diagnostics, never
+	// compared against a baseline, but printed when the efficiency floor
+	// fails so the report names the shard that dragged the curve down.
+	ShardWallNS []int64    `json:"shard_wall_ns,omitempty"`
+	Skew        shard.Skew `json:"skew,omitempty"`
 }
 
 // ScalingResult is the "scaling" block of bench.json: the sharded miner
@@ -156,7 +162,13 @@ func RunScaling(ctx context.Context, w io.Writer, o ScalingOptions) (*ScalingRes
 				n, res.K, keys, refKeys)
 		}
 
-		entry := ScalingEntry{Shards: eng.Shards(), NS: elapsed.Nanoseconds(), Work: workCounters(reg.Snapshot())}
+		entry := ScalingEntry{
+			Shards:      eng.Shards(),
+			NS:          elapsed.Nanoseconds(),
+			Work:        workCounters(reg.Snapshot()),
+			ShardWallNS: mres.ShardWallNS,
+			Skew:        mres.Skew,
+		}
 		if len(res.Entries) > 0 {
 			base := float64(res.Entries[0].NS)
 			if base > 0 && elapsed.Nanoseconds() > 0 {
@@ -236,9 +248,19 @@ func CheckScaling(baseline, current *ScalingResult, tolPct float64) []string {
 	if len(current.Entries) > 0 && current.GoMaxProcs > 1 {
 		last := current.Entries[len(current.Entries)-1]
 		if last.Shards > 1 && last.Efficiency < floor {
-			out = append(out, fmt.Sprintf(
+			msg := fmt.Sprintf(
 				"scaling: parallel efficiency %.2f at %d shards is below the floor %.2f (speedup %.2f, gomaxprocs %d)",
-				last.Efficiency, last.Shards, floor, last.Speedup, current.GoMaxProcs))
+				last.Efficiency, last.Shards, floor, last.Speedup, current.GoMaxProcs)
+			// Name the shard that dragged the curve down: efficiency is
+			// bounded by the slowest shard's wall, so the skew summary is
+			// the first diagnostic an operator needs.
+			if last.Skew.Ratio > 0 {
+				msg += fmt.Sprintf("; slowest shard %d took %.2fs vs fastest shard %d at %.2fs (skew ratio %.2fx)",
+					last.Skew.SlowestShard, time.Duration(last.Skew.MaxWallNS).Seconds(),
+					last.Skew.FastestShard, time.Duration(last.Skew.MinWallNS).Seconds(),
+					last.Skew.Ratio)
+			}
+			out = append(out, msg)
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync"
@@ -25,6 +26,13 @@ var exitFn = os.Exit
 // them. The returned stop function releases the signal handler and must
 // be deferred so a finished command stops intercepting ^C.
 func SignalContext(parent context.Context, w io.Writer, name string) (context.Context, func()) {
+	return SignalContextLogged(parent, Lifecycle{W: w}, name)
+}
+
+// SignalContextLogged is SignalContext with the drain notices routed
+// through lc: structured records when lc.Logger is set (-log-format=text
+// or json), the legacy plain lines on lc.W otherwise.
+func SignalContextLogged(parent context.Context, lc Lifecycle, name string) (context.Context, func()) {
 	ctx, cancel := context.WithCancelCause(parent)
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
@@ -32,14 +40,18 @@ func SignalContext(parent context.Context, w io.Writer, name string) (context.Co
 	go func() {
 		select {
 		case sig := <-ch:
-			fmt.Fprintf(w, "%s: %v — draining and flushing partial results (signal again to abort)\n", name, sig)
+			lc.Notice(fmt.Sprintf("%s: %v — draining and flushing partial results (signal again to abort)", name, sig),
+				"signal received — draining",
+				slog.String("cmd", name), slog.String("signal", sig.String()))
 			cancel(fmt.Errorf("%v received", sig))
 		case <-done:
 			return
 		}
 		select {
 		case sig := <-ch:
-			fmt.Fprintf(w, "%s: %v — aborting\n", name, sig)
+			lc.Error(fmt.Sprintf("%s: %v — aborting", name, sig),
+				"second signal — aborting",
+				slog.String("cmd", name), slog.String("signal", sig.String()))
 			exitFn(130)
 		case <-done:
 		}

@@ -195,6 +195,26 @@ func TestProgressPrinter(t *testing.T) {
 	np.Done()
 }
 
+func TestProgressETASlidingWindow(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressPrinter(&buf, time.Nanosecond) // effectively unthrottled
+	// A steady 2 it/s on the miner's elapsed clock: iterations 1..4 at
+	// half-second spacing.
+	for i := 1; i <= 4; i++ {
+		p.Update(core.Progress{Iteration: i, MaxIters: 10, K: 5,
+			Elapsed: time.Duration(i) * 500 * time.Millisecond})
+	}
+	p.Done()
+	out := buf.String()
+	if !strings.Contains(out, "2.0 it/s") {
+		t.Errorf("sliding-window rate missing: %q", out)
+	}
+	// Six iterations remain at 2 it/s → a 3s upper bound.
+	if !strings.Contains(out, "ETA ≤ 3s") {
+		t.Errorf("ETA not derived from the window rate: %q", out)
+	}
+}
+
 func TestMetricsHolder(t *testing.T) {
 	var nilHolder *MetricsHolder
 	nilHolder.Set(obs.New()) // no panic

@@ -339,7 +339,11 @@ func Mine(ctx context.Context, s *Scorer, cfg MinerConfig) (*Result, error) {
 	tl := cfg.Tracer.Local()
 	var runSpan *trace.Span
 	if tl != nil {
-		runSpan = tl.Span("miner.run", trace.Attrs{"k": cfg.K, "seeds": len(seeds)})
+		attrs := trace.Attrs{"k": cfg.K, "seeds": len(seeds)}
+		if id := trace.RequestIDFrom(ctx); id != "" {
+			attrs["request_id"] = id
+		}
+		runSpan = tl.Span("miner.run", attrs)
 	}
 	defer runSpan.End()
 

@@ -174,7 +174,7 @@ func (e *Engine) merge(ctx context.Context, cfg core.MinerConfig, states []*core
 				vals[s], errs[s] = e.scorers[s].ScoreAll(ctx, byShard[s])
 			})
 		}
-		runTasks(e.workers, tasks)
+		runTasks(e.workers, tasks, newPoolMetrics(parent))
 		for s := 0; s < n; s++ {
 			if errs[s] == nil {
 				continue

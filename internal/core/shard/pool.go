@@ -1,6 +1,38 @@
 package shard
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"trajpattern/internal/obs"
+)
+
+// poolMetrics carries the optional utilization telemetry of one runTasks
+// call. Every handle may be nil (nil-safe per the obs contract); the zero
+// value disables collection entirely, which is what tests and metric-less
+// runs pass.
+//
+// Steal counts are scheduling-dependent — which worker drains which deque
+// varies run to run — so "shard.pool.*" counters are excluded from the
+// deterministic bench-gate comparison (cli.nondeterministicFragments),
+// like the scorer's per-worker counters.
+type poolMetrics struct {
+	steals *obs.Counter   // tasks taken from a peer's deque
+	busy   *obs.Timer     // time inside tasks, one observation per task
+	idle   *obs.Timer     // per-worker wall time not spent inside tasks
+	task   *obs.Histogram // per-task duration distribution
+}
+
+// newPoolMetrics resolves the pool's handles on a registry (all nil on a
+// nil registry, disabling collection).
+func newPoolMetrics(r *obs.Registry) poolMetrics {
+	return poolMetrics{
+		steals: r.Counter("shard.pool.steals"),
+		busy:   r.Timer("shard.pool.busy"),
+		idle:   r.Timer("shard.pool.idle"),
+		task:   r.Histogram("shard.pool.task"),
+	}
+}
 
 // runTasks executes a fixed batch of independent tasks on up to `workers`
 // goroutines using work-stealing deques: task i is dealt to deque i mod w,
@@ -14,7 +46,7 @@ import "sync"
 // deque still holds queued shards (the `-shards 16` on 4 cores case).
 // Tasks only ever write to their own result slot, so the stealing order —
 // the one scheduling-dependent choice here — cannot affect any output.
-func runTasks(workers int, tasks []func()) {
+func runTasks(workers int, tasks []func(), pm poolMetrics) {
 	if len(tasks) == 0 {
 		return
 	}
@@ -23,7 +55,7 @@ func runTasks(workers int, tasks []func()) {
 	}
 	if workers <= 1 {
 		for _, t := range tasks {
-			t()
+			runTask(t, pm)
 		}
 		return
 	}
@@ -39,16 +71,36 @@ func runTasks(workers int, tasks []func()) {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
+			workerStart := time.Now() //trajlint:allow determinism -- busy/idle utilization telemetry only; never part of the mined result
+			var busy time.Duration
 			for {
-				i, ok := d.next(self)
+				i, stolen, ok := d.next(self)
 				if !ok {
-					return
+					break
 				}
-				tasks[i]()
+				if stolen {
+					pm.steals.Inc()
+				}
+				busy += runTask(tasks[i], pm)
 			}
+			// Idle is the worker's wall time minus its task time: the
+			// mutex waits, steal scans and scheduler gaps a skewed
+			// partition turns into wasted parallelism.
+			pm.idle.Observe(time.Since(workerStart) - busy) //trajlint:allow determinism -- worker idle telemetry only; never part of the mined result
 		}(w)
 	}
 	wg.Wait()
+}
+
+// runTask runs one task under the pool's duration instrumentation and
+// returns its duration.
+func runTask(t func(), pm poolMetrics) time.Duration {
+	start := time.Now() //trajlint:allow determinism -- task-duration telemetry only; never part of the mined result
+	t()
+	d := time.Since(start) //trajlint:allow determinism -- task-duration telemetry only; never part of the mined result
+	pm.busy.Observe(d)
+	pm.task.ObserveDuration(d)
+	return d
 }
 
 // deques is the shared work-stealing state of one runTasks call. One
@@ -62,14 +114,15 @@ type deques struct {
 
 // next returns the next task index for worker self: the back of its own
 // deque, else the front of the first non-empty peer deque in round-robin
-// scan order. ok is false when every deque is empty.
-func (d *deques) next(self int) (task int, ok bool) {
+// scan order (stolen is true for the latter). ok is false when every
+// deque is empty.
+func (d *deques) next(self int) (task int, stolen, ok bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if q := d.queues[self]; len(q) > 0 {
 		task = q[len(q)-1]
 		d.queues[self] = q[:len(q)-1]
-		return task, true
+		return task, false, true
 	}
 	n := len(d.queues)
 	for off := 1; off < n; off++ {
@@ -77,8 +130,8 @@ func (d *deques) next(self int) (task int, ok bool) {
 		if q := d.queues[victim]; len(q) > 0 {
 			task = q[0]
 			d.queues[victim] = q[1:]
-			return task, true
+			return task, true, true
 		}
 	}
-	return 0, false
+	return 0, false, false
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"trajpattern/internal/core"
 	"trajpattern/internal/obs"
@@ -128,6 +129,52 @@ type Result struct {
 	Total core.MinerStats
 	// Merge reports the candidate-merging work.
 	Merge MergeStats
+	// ShardWallNS holds each shard's search wall time in nanoseconds,
+	// indexed by shard. Timing-class telemetry: never part of any
+	// deterministic comparison, but the raw input to Skew.
+	ShardWallNS []int64
+	// Skew is the post-merge wall-time imbalance summary: parallel
+	// efficiency is bounded by the slowest shard, so when a scaling gate
+	// fails, Skew names the shard that dragged the curve down.
+	Skew Skew
+}
+
+// Skew summarizes the wall-time imbalance of one sharded run.
+type Skew struct {
+	// SlowestShard and FastestShard are shard indices (by wall time).
+	SlowestShard int `json:"slowest_shard"`
+	FastestShard int `json:"fastest_shard"`
+	// MaxWallNS and MinWallNS are those shards' wall times.
+	MaxWallNS int64 `json:"max_wall_ns"`
+	MinWallNS int64 `json:"min_wall_ns"`
+	// Ratio is MaxWallNS/MinWallNS: 1.0 is perfectly balanced, and the
+	// run's parallel efficiency cannot exceed mean/max wall. Zero when
+	// unmeasurable (no shards or zero-duration walls).
+	Ratio float64 `json:"ratio"`
+}
+
+// computeSkew reduces per-shard wall times to the imbalance summary.
+func computeSkew(wallNS []int64) Skew {
+	var s Skew
+	if len(wallNS) == 0 {
+		return s
+	}
+	s.MinWallNS = wallNS[0]
+	s.MaxWallNS = wallNS[0]
+	for i, w := range wallNS {
+		if w > s.MaxWallNS {
+			s.MaxWallNS = w
+			s.SlowestShard = i
+		}
+		if w < s.MinWallNS {
+			s.MinWallNS = w
+			s.FastestShard = i
+		}
+	}
+	if s.MinWallNS > 0 {
+		s.Ratio = float64(s.MaxWallNS) / float64(s.MinWallNS)
+	}
+	return s
 }
 
 // Mine runs the sharded search: every shard mines its partition with the
@@ -159,10 +206,12 @@ func (e *Engine) Mine(ctx context.Context, cfg core.MinerConfig, resume []*core.
 			}
 			sc.Resume = resume[0]
 		}
+		start := time.Now() //trajlint:allow determinism -- shard wall telemetry only; never part of the mined result
 		res, err := core.Mine(ctx, e.full, sc)
 		if err != nil {
 			return nil, err
 		}
+		wall := int64(time.Since(start)) //trajlint:allow determinism -- shard wall telemetry only; never part of the mined result
 		return &Result{
 			Patterns:        res.Patterns,
 			Interrupted:     res.Interrupted,
@@ -170,6 +219,8 @@ func (e *Engine) Mine(ctx context.Context, cfg core.MinerConfig, resume []*core.
 			Shards:          1,
 			PerShard:        []core.MinerStats{res.Stats},
 			Total:           res.Stats,
+			ShardWallNS:     []int64{wall},
+			Skew:            computeSkew([]int64{wall}),
 		}, nil
 	}
 	if cfg.Resume != nil {
@@ -188,7 +239,11 @@ func (e *Engine) Mine(ctx context.Context, cfg core.MinerConfig, resume []*core.
 	tl := cfg.Tracer.Local()
 	var runSpan *trace.Span
 	if tl != nil {
-		runSpan = tl.Span("shard.run", trace.Attrs{"shards": n, "k": cfg.K, "seeds": len(seeds)})
+		attrs := trace.Attrs{"shards": n, "k": cfg.K, "seeds": len(seeds)}
+		if id := trace.RequestIDFrom(ctx); id != "" {
+			attrs["request_id"] = id
+		}
+		runSpan = tl.Span("shard.run", attrs)
 	}
 	defer runSpan.End()
 
@@ -208,10 +263,17 @@ func (e *Engine) Mine(ctx context.Context, cfg core.MinerConfig, resume []*core.
 	results := make([]*core.Result, n)
 	errs := make([]error, n)
 	regs := make([]*obs.Registry, n)
+	wallNS := make([]int64, n)
+	wallHist := parent.Histogram("shard.wall")
 	tasks := make([]func(), n)
 	for i := 0; i < n; i++ {
 		i := i
 		tasks[i] = func() {
+			shardStart := time.Now() //trajlint:allow determinism -- per-shard wall telemetry only; never part of the mined result
+			defer func() {
+				wallNS[i] = int64(time.Since(shardStart)) //trajlint:allow determinism -- per-shard wall telemetry only; never part of the mined result
+				wallHist.ObserveDuration(time.Duration(wallNS[i]))
+			}()
 			sc := cfg
 			sc.Shards = 0
 			sc.Seeds = seeds
@@ -244,9 +306,18 @@ func (e *Engine) Mine(ctx context.Context, cfg core.MinerConfig, resume []*core.
 			sp.End()
 		}
 	}
-	runTasks(e.workers, tasks)
+	runTasks(e.workers, tasks, newPoolMetrics(parent))
 
 	res := &Result{Shards: n, PerShard: make([]core.MinerStats, n)}
+	res.ShardWallNS = wallNS
+	res.Skew = computeSkew(wallNS)
+	// Skew gauges are timing-class (never bench-compared) but scrapable:
+	// an operator watching /metrics sees which shard is dragging without
+	// waiting for a scaling-gate failure. The ratio is stored in
+	// milliunits because gauges are integral.
+	parent.Gauge("shard.skew.slowest").Set(int64(res.Skew.SlowestShard))
+	parent.Gauge("shard.skew.ratio_milli").Set(int64(res.Skew.Ratio * 1000))
+	runSpan.Attr("skew_slowest", res.Skew.SlowestShard).Attr("skew_ratio", res.Skew.Ratio)
 	for i := 0; i < n; i++ {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("shard %d/%d: %w", i, n, errs[i])

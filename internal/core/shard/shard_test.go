@@ -317,7 +317,7 @@ func TestShardPoolExecutesEveryTask(t *testing.T) {
 			i := i
 			tasks[i] = func() { atomic.AddInt32(&ran[i], 1) }
 		}
-		runTasks(tc.workers, tasks)
+		runTasks(tc.workers, tasks, poolMetrics{})
 		for i, c := range ran {
 			if c != 1 {
 				t.Errorf("workers=%d tasks=%d: task %d ran %d times", tc.workers, tc.tasks, i, c)
@@ -331,16 +331,16 @@ func TestShardPoolExecutesEveryTask(t *testing.T) {
 // peer, and local pops must come from the back.
 func TestShardPoolSteals(t *testing.T) {
 	d := &deques{queues: [][]int{{0, 2}, {1}, {}}}
-	if i, ok := d.next(0); !ok || i != 2 {
-		t.Fatalf("local pop = %d, want back entry 2", i)
+	if i, stolen, ok := d.next(0); !ok || i != 2 || stolen {
+		t.Fatalf("local pop = %d (stolen=%v), want back entry 2, not stolen", i, stolen)
 	}
-	if i, ok := d.next(2); !ok || i != 0 {
-		t.Fatalf("steal = %d, want front of first non-empty peer (0)", i)
+	if i, stolen, ok := d.next(2); !ok || i != 0 || !stolen {
+		t.Fatalf("steal = %d (stolen=%v), want front of first non-empty peer (0), stolen", i, stolen)
 	}
-	if i, ok := d.next(2); !ok || i != 1 {
-		t.Fatalf("second steal = %d, want 1", i)
+	if i, stolen, ok := d.next(2); !ok || i != 1 || !stolen {
+		t.Fatalf("second steal = %d (stolen=%v), want 1, stolen", i, stolen)
 	}
-	if _, ok := d.next(1); ok {
+	if _, _, ok := d.next(1); ok {
 		t.Fatal("drained deques still yielded work")
 	}
 }

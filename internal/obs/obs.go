@@ -131,18 +131,20 @@ func (t *Timer) Count() int64 {
 // value is not usable; call New. A nil *Registry is a valid "disabled"
 // registry: its lookup methods return nil handles, whose updates are no-ops.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -194,6 +196,34 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the histogram registered under name, creating it on
+// first use with DefaultDurationBuckets. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.HistogramWith(name, DefaultDurationBuckets)
+}
+
+// HistogramWith returns the histogram registered under name, creating it
+// on first use with the given upper bounds (sorted copy; an implicit +Inf
+// bucket is always appended). An already-registered name keeps its
+// original buckets — first registration wins, so a layout is fixed for
+// the registry's lifetime. Returns nil on a nil registry.
+func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // TimerStat is the snapshot form of one Timer.
 type TimerStat struct {
 	Count   int64 `json:"count"`
@@ -204,9 +234,10 @@ type TimerStat struct {
 // are instrument names; encoding/json marshals them sorted, so the JSON
 // form is deterministic, as is String.
 type Snapshot struct {
-	Counters map[string]int64     `json:"counters,omitempty"`
-	Gauges   map[string]int64     `json:"gauges,omitempty"`
-	Timers   map[string]TimerStat `json:"timers,omitempty"`
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
+	Timers     map[string]TimerStat     `json:"timers,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the current instrument values. A nil registry yields the
@@ -235,6 +266,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Timers = make(map[string]TimerStat, len(r.timers))
 		for name, t := range r.timers {
 			s.Timers[name] = TimerStat{Count: t.Count(), TotalNS: int64(t.Total())}
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramStat, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot()
 		}
 	}
 	return s
@@ -275,6 +312,10 @@ func (s Snapshot) String() string {
 	section("timers", keys(s.Timers), func(n string) string {
 		t := s.Timers[n]
 		return fmt.Sprintf("%d × %v total", t.Count, time.Duration(t.TotalNS))
+	})
+	section("histograms", keys(s.Histograms), func(n string) string {
+		h := s.Histograms[n]
+		return fmt.Sprintf("%d obs, sum %g", h.Count, h.Sum)
 	})
 	return b.String()
 }

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format this
+// package emits (Prometheus text format 0.0.4).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm encodes a provenance-stamped report in the Prometheus text
+// exposition format: provenance as an info-style labeled gauge
+// (trajpattern_build_info 1), counters and gauges under their sanitized
+// snapshot names, timers as quantile-less summaries (name_count /
+// name_sum, sum in seconds), and histograms as classic cumulative-bucket
+// histograms (name_bucket{le="…"} / name_sum / name_count). Every family
+// carries a HELP/TYPE pair, families are emitted in sorted name order
+// after build_info, and the whole rendering is deterministic for a given
+// snapshot. ValidateProm checks exactly this grammar.
+func WriteProm(w io.Writer, r Report) error {
+	var b strings.Builder
+
+	b.WriteString("# HELP trajpattern_build_info Build and host provenance of the process that produced these metrics.\n")
+	b.WriteString("# TYPE trajpattern_build_info gauge\n")
+	p := r.Provenance
+	labels := []string{
+		promLabel("git_commit", p.GitCommit),
+		promLabel("git_dirty", strconv.FormatBool(p.GitDirty)),
+		promLabel("go_version", p.GoVersion),
+		promLabel("goos", p.GOOS),
+		promLabel("goarch", p.GOARCH),
+		promLabel("gomaxprocs", strconv.Itoa(p.GOMAXPROCS)),
+		promLabel("num_cpu", strconv.Itoa(p.NumCPU)),
+	}
+	fmt.Fprintf(&b, "trajpattern_build_info{%s} 1\n", strings.Join(labels, ","))
+
+	s := r.Metrics
+	type family struct {
+		name string // sanitized exposition name
+		emit func(b *strings.Builder, name string)
+	}
+	var fams []family
+	used := map[string]bool{"trajpattern_build_info": true}
+	add := func(orig string, emit func(b *strings.Builder, name string)) {
+		name := promName(orig)
+		// Distinct snapshot names can sanitize identically ("a.b" and
+		// "a/b"); suffix deterministically rather than emit a duplicate
+		// family, which the validator rejects.
+		for used[name] {
+			name += "_"
+		}
+		used[name] = true
+		fams = append(fams, family{name: name, emit: emit})
+	}
+
+	for _, n := range sortedNames(s.Counters) {
+		v := s.Counters[n]
+		add(n, func(b *strings.Builder, name string) {
+			fmt.Fprintf(b, "# HELP %s trajpattern counter %s\n", name, promHelp(n))
+			fmt.Fprintf(b, "# TYPE %s counter\n", name)
+			fmt.Fprintf(b, "%s %d\n", name, v)
+		})
+	}
+	for _, n := range sortedNames(s.Gauges) {
+		v := s.Gauges[n]
+		add(n, func(b *strings.Builder, name string) {
+			fmt.Fprintf(b, "# HELP %s trajpattern gauge %s\n", name, promHelp(n))
+			fmt.Fprintf(b, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(b, "%s %d\n", name, v)
+		})
+	}
+	for _, n := range sortedNames(s.Timers) {
+		t := s.Timers[n]
+		add(n, func(b *strings.Builder, name string) {
+			fmt.Fprintf(b, "# HELP %s trajpattern timer %s (sum in seconds)\n", name, promHelp(n))
+			fmt.Fprintf(b, "# TYPE %s summary\n", name)
+			fmt.Fprintf(b, "%s_count %d\n", name, t.Count)
+			fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(float64(t.TotalNS)/1e9))
+		})
+	}
+	for _, n := range sortedNames(s.Histograms) {
+		h := s.Histograms[n]
+		add(n, func(b *strings.Builder, name string) {
+			fmt.Fprintf(b, "# HELP %s trajpattern histogram %s\n", name, promHelp(n))
+			fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+			var cum int64
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+			}
+			if len(h.Counts) > 0 {
+				cum += h.Counts[len(h.Counts)-1]
+			}
+			fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(h.Sum))
+			fmt.Fprintf(b, "%s_count %d\n", name, cum)
+		})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.emit(&b, f.name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a dotted snapshot name onto the exposition grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every other rune becomes '_', and a leading
+// digit gets a '_' prefix.
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promHelp escapes a HELP docstring: backslashes and newlines only (the
+// format's two escape sequences for help text).
+func promHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promLabel renders one name="value" pair with label-value escaping
+// (backslash, double quote, newline).
+func promLabel(name, value string) string {
+	value = strings.ReplaceAll(value, `\`, `\\`)
+	value = strings.ReplaceAll(value, `"`, `\"`)
+	value = strings.ReplaceAll(value, "\n", `\n`)
+	return name + `="` + value + `"`
+}
+
+// promFloat renders a float sample value (or bucket bound) the way
+// Prometheus expects: shortest round-trip decimal, +Inf/-Inf/NaN spelled
+// out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedNames returns the sorted key set of a string-keyed map.
+func sortedNames[V any](m map[string]V) []string {
+	out := keys(m)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testReport() Report {
+	r := New()
+	r.Counter("miner.nm.evals").Add(42)
+	r.Counter("weird name/with:chars").Inc()
+	r.Gauge("serve.inflight").Set(3)
+	r.Timer("miner.phase.extend").Observe(1500 * time.Millisecond)
+	h := r.HistogramWith("serve.latency/v1/score", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	rep := NewReport(r.Snapshot())
+	rep.Provenance.GitCommit = `abc"def\ghi`
+	return rep
+}
+
+func TestWritePromValidates(t *testing.T) {
+	var b strings.Builder
+	if err := WriteProm(&b, testReport()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := ValidateProm(strings.NewReader(out)); err != nil {
+		t.Fatalf("encoder output failed its own validator: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"trajpattern_build_info{",
+		`git_commit="abc\"def\\ghi"`,
+		"# TYPE miner_nm_evals counter",
+		"miner_nm_evals 42",
+		"# TYPE serve_inflight gauge",
+		"# TYPE miner_phase_extend summary",
+		"miner_phase_extend_sum 1.5",
+		"# TYPE serve_latency_v1_score histogram",
+		`serve_latency_v1_score_bucket{le="0.01"} 1`,
+		`serve_latency_v1_score_bucket{le="0.1"} 2`,
+		`serve_latency_v1_score_bucket{le="1"} 2`,
+		`serve_latency_v1_score_bucket{le="+Inf"} 3`,
+		"serve_latency_v1_score_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	rep := testReport()
+	var a, b strings.Builder
+	if err := WriteProm(&a, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renderings of the same report differ")
+	}
+}
+
+func TestWritePromNameCollision(t *testing.T) {
+	r := New()
+	r.Counter("a.b").Inc()
+	r.Counter("a/b").Inc()
+	var b strings.Builder
+	if err := WriteProm(&b, NewReport(r.Snapshot())); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProm(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("colliding sanitized names produced invalid exposition: %v\n%s", err, b.String())
+	}
+}
+
+func TestValidatePromRejects(t *testing.T) {
+	cases := map[string]string{
+		"type without help": "# TYPE x counter\nx 1\n",
+		"help without type": "# HELP x doc\nx 1\n",
+		"mismatched pair":   "# HELP x doc\n# TYPE y counter\ny 1\n",
+		"duplicate family":  "# HELP x doc\n# TYPE x counter\nx 1\n# HELP x doc\n# TYPE x counter\nx 2\n",
+		"no samples":        "# HELP x doc\n# TYPE x counter\n# HELP y doc\n# TYPE y counter\ny 1\n",
+		"bad metric name":   "# HELP 1x doc\n# TYPE 1x counter\n1x 1\n",
+		"bad escape":        "# HELP x doc\n# TYPE x gauge\nx{l=\"a\\t\"} 1\n",
+		"unterminated":      "# HELP x doc\n# TYPE x gauge\nx{l=\"a} 1\n",
+		"timestamp":         "# HELP x doc\n# TYPE x counter\nx 1 1700000000\n",
+		"negative counter":  "# HELP x doc\n# TYPE x counter\nx -1\n",
+		"non-monotone buckets": "# HELP x doc\n# TYPE x histogram\n" +
+			"x_bucket{le=\"1\"} 5\nx_bucket{le=\"2\"} 3\nx_bucket{le=\"+Inf\"} 5\nx_sum 1\nx_count 5\n",
+		"descending le": "# HELP x doc\n# TYPE x histogram\n" +
+			"x_bucket{le=\"2\"} 1\nx_bucket{le=\"1\"} 2\nx_bucket{le=\"+Inf\"} 2\nx_sum 1\nx_count 2\n",
+		"missing +Inf": "# HELP x doc\n# TYPE x histogram\n" +
+			"x_bucket{le=\"1\"} 1\nx_sum 1\nx_count 1\n",
+		"+Inf != count": "# HELP x doc\n# TYPE x histogram\n" +
+			"x_bucket{le=\"1\"} 1\nx_bucket{le=\"+Inf\"} 2\nx_sum 1\nx_count 3\n",
+		"summary missing sum": "# HELP x doc\n# TYPE x summary\nx_count 1\n",
+		"blank line":          "# HELP x doc\n# TYPE x counter\n\nx 1\n",
+		"stray sample":        "x 1\n",
+		"empty input":         "",
+	}
+	for name, in := range cases {
+		if err := ValidateProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted malformed input:\n%s", name, in)
+		}
+	}
+}
+
+func TestValidatePromAcceptsMinimal(t *testing.T) {
+	in := "# HELP x one metric\n# TYPE x gauge\nx{l=\"a\\\\b\\\"c\\nd\"} 1\n"
+	if err := ValidateProm(strings.NewReader(in)); err != nil {
+		t.Fatalf("minimal valid input rejected: %v", err)
+	}
+}

@@ -1,0 +1,415 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateProm is a strict line-format validator for the Prometheus text
+// exposition subset WriteProm emits. It enforces, per family: a HELP line
+// immediately followed by a TYPE line for the same metric name, at least
+// one sample, no duplicate or interleaved families, legal metric and
+// label names, legal label-value escaping (only \\, \" and \n), and no
+// timestamps. For histogram families it additionally checks the bucket
+// invariants scrapers rely on: `le` bounds strictly ascending, cumulative
+// bucket counts monotone non-decreasing, a final `+Inf` bucket, and
+// `+Inf` bucket count == `_count`. For summaries it requires `_count`
+// and `_sum`. Returns nil for conformant input, or an error naming the
+// first offending line.
+func ValidateProm(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	type familyState struct {
+		name string
+		typ  string
+		// histogram state
+		buckets   int
+		lastLE    float64
+		lastCount int64
+		infCount  int64
+		sawInf    bool
+		sawSum    bool
+		sawCount  bool
+		countVal  int64
+		samples   int
+	}
+	seen := map[string]bool{}
+	var fam *familyState
+	var pendingHelp string // metric name from a HELP line awaiting its TYPE
+	lineNo := 0
+
+	closeFamily := func() error {
+		if fam == nil {
+			return nil
+		}
+		if fam.samples == 0 {
+			return fmt.Errorf("family %q has no samples", fam.name)
+		}
+		switch fam.typ {
+		case "histogram":
+			if !fam.sawInf {
+				return fmt.Errorf("histogram %q has no +Inf bucket", fam.name)
+			}
+			if !fam.sawSum || !fam.sawCount {
+				return fmt.Errorf("histogram %q missing _sum or _count", fam.name)
+			}
+			if fam.infCount != fam.countVal {
+				return fmt.Errorf("histogram %q: +Inf bucket %d != _count %d", fam.name, fam.infCount, fam.countVal)
+			}
+		case "summary":
+			if !fam.sawSum || !fam.sawCount {
+				return fmt.Errorf("summary %q missing _sum or _count", fam.name)
+			}
+		}
+		fam = nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		if line == "" {
+			return fail("blank line")
+		}
+
+		if strings.HasPrefix(line, "# HELP ") {
+			if pendingHelp != "" {
+				return fail("HELP %q while HELP %q awaits its TYPE", line, pendingHelp)
+			}
+			if err := closeFamily(); err != nil {
+				return fail("%v", err)
+			}
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, doc, ok := strings.Cut(rest, " ")
+			if !ok || doc == "" {
+				return fail("HELP without docstring")
+			}
+			if !validPromName(name) {
+				return fail("invalid metric name %q in HELP", name)
+			}
+			if seen[name] {
+				return fail("duplicate family %q", name)
+			}
+			if err := checkEscapes(doc, false); err != nil {
+				return fail("HELP docstring for %q: %v", name, err)
+			}
+			pendingHelp = name
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fail("TYPE without a type")
+			}
+			if pendingHelp == "" {
+				return fail("TYPE %q without preceding HELP", name)
+			}
+			if name != pendingHelp {
+				return fail("TYPE for %q does not match preceding HELP for %q", name, pendingHelp)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fail("unknown metric type %q", typ)
+			}
+			seen[name] = true
+			fam = &familyState{name: name, typ: typ, lastLE: math.Inf(-1)}
+			pendingHelp = ""
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fail("unexpected comment %q (only HELP and TYPE allowed)", line)
+		}
+		if pendingHelp != "" {
+			return fail("sample line while HELP %q awaits its TYPE", pendingHelp)
+		}
+		if fam == nil {
+			return fail("sample outside any HELP/TYPE family")
+		}
+
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fam.samples++
+
+		switch fam.typ {
+		case "counter", "gauge", "untyped":
+			if name != fam.name {
+				return fail("sample %q inside family %q", name, fam.name)
+			}
+			if (fam.typ == "counter") && (value < 0 || math.IsNaN(value)) {
+				return fail("counter %q has negative or NaN value %v", name, value)
+			}
+		case "summary":
+			switch name {
+			case fam.name + "_count":
+				fam.sawCount = true
+				if value < 0 || value != math.Trunc(value) {
+					return fail("summary %q _count %v is not a non-negative integer", fam.name, value)
+				}
+			case fam.name + "_sum":
+				fam.sawSum = true
+			case fam.name:
+				if _, ok := labels["quantile"]; !ok {
+					return fail("summary sample %q lacks a quantile label", name)
+				}
+			default:
+				return fail("sample %q inside summary family %q", name, fam.name)
+			}
+		case "histogram":
+			switch name {
+			case fam.name + "_bucket":
+				leStr, ok := labels["le"]
+				if !ok {
+					return fail("histogram bucket for %q lacks an le label", fam.name)
+				}
+				if fam.sawInf {
+					return fail("histogram %q has buckets after +Inf", fam.name)
+				}
+				le, perr := strconv.ParseFloat(leStr, 64)
+				if perr != nil || math.IsNaN(le) {
+					return fail("histogram %q: unparsable le %q", fam.name, leStr)
+				}
+				if le <= fam.lastLE {
+					return fail("histogram %q: le %q not strictly ascending (previous %v)", fam.name, leStr, fam.lastLE)
+				}
+				if value < 0 || value != math.Trunc(value) {
+					return fail("histogram %q: bucket count %v is not a non-negative integer", fam.name, value)
+				}
+				count := int64(value)
+				if fam.buckets > 0 && count < fam.lastCount {
+					return fail("histogram %q: cumulative bucket count decreased (%d after %d)", fam.name, count, fam.lastCount)
+				}
+				fam.buckets++
+				fam.lastLE = le
+				fam.lastCount = count
+				if math.IsInf(le, 1) {
+					fam.sawInf = true
+					fam.infCount = count
+				}
+			case fam.name + "_sum":
+				fam.sawSum = true
+			case fam.name + "_count":
+				fam.sawCount = true
+				if value < 0 || value != math.Trunc(value) {
+					return fail("histogram %q: _count %v is not a non-negative integer", fam.name, value)
+				}
+				fam.countVal = int64(value)
+			default:
+				return fail("sample %q inside histogram family %q", name, fam.name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if pendingHelp != "" {
+		return fmt.Errorf("EOF: HELP %q without TYPE", pendingHelp)
+	}
+	if err := closeFamily(); err != nil {
+		return fmt.Errorf("EOF: %v", err)
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("no metric families found")
+	}
+	return nil
+}
+
+// parsePromSample splits one sample line into base metric name, label
+// map, and value, validating names, escaping, and the absence of
+// timestamps along the way.
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parsePromLabels(rest[brace+1 : end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		rest = " " + rest
+	}
+	if !validPromName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return "", nil, 0, fmt.Errorf("missing space before value in %q", line)
+	}
+	rest = rest[1:]
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("expected exactly one value (no timestamp) in %q", line)
+	}
+	value, err = parsePromValue(rest)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	return name, labels, value, nil
+}
+
+// parsePromLabels parses the interior of a {…} label set.
+func parsePromLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q has no '='", s)
+		}
+		lname := s[:eq]
+		if !validPromLabelName(lname) {
+			return nil, fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("label %q value is not quoted", lname)
+		}
+		s = s[1:]
+		// Scan to the closing unescaped quote.
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("label %q: trailing backslash", lname)
+				}
+				i++
+				switch s[i] {
+				case '\\', '"', 'n':
+					val.WriteByte('\\')
+					val.WriteByte(s[i])
+				default:
+					return nil, fmt.Errorf("label %q: illegal escape \\%c", lname, s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q: unterminated value", lname)
+		}
+		if _, dup := labels[lname]; dup {
+			return nil, fmt.Errorf("duplicate label %q", lname)
+		}
+		labels[lname] = unescapeLabel(val.String())
+		if s == "" {
+			break
+		}
+		if !strings.HasPrefix(s, ",") {
+			return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+		}
+		s = s[1:]
+	}
+	return labels, nil
+}
+
+func unescapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// parsePromValue parses a sample value, accepting the spelled-out
+// infinities and NaN the format defines.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validPromName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == ':':
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validPromLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validPromLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_':
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// checkEscapes verifies a HELP docstring (or, with quoted=true, a raw
+// label value) uses only legal escape sequences.
+func checkEscapes(s string, quoted bool) error {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			continue
+		}
+		if i+1 >= len(s) {
+			return fmt.Errorf("trailing backslash")
+		}
+		i++
+		switch s[i] {
+		case '\\', 'n':
+		case '"':
+			if !quoted {
+				return fmt.Errorf(`\" escape outside a quoted value`)
+			}
+		default:
+			return fmt.Errorf("illegal escape \\%c", s[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package slogx is the repo's structured-logging setup: a thin, nil-safe
+// wrapper over log/slog with the two handler formats the CLIs expose
+// behind -log-format ("text" and "json") and canonical attribute
+// constructors for the fields the serving path correlates on
+// (request_id, route, status).
+//
+// Like the obs handle types, a nil *Logger is a valid "disabled" logger:
+// every method is a no-op on a nil receiver, so call sites log
+// unconditionally and pay one branch when structured logging is off
+// (-log-format=plain keeps the legacy fmt.Fprintf status lines and hands
+// the code a nil *Logger).
+package slogx
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"time"
+)
+
+// Options configures New. The zero value is usable: JSON format at info
+// level to os.Stderr.
+type Options struct {
+	// Format selects the handler: "json" (default) or "text". "plain" and
+	// "" both mean "no structured logger" to flag-parsing callers; New
+	// itself treats only the handler formats.
+	Format string
+	// Level is the minimum level: "debug", "info" (default), "warn",
+	// "error". Unknown strings fall back to info.
+	Level string
+	// W is the destination (default os.Stderr).
+	W io.Writer
+	// OmitTime drops the time attribute from records, so test output is
+	// byte-comparable across runs.
+	OmitTime bool
+}
+
+// ParseLevel maps a -log-level flag string onto a slog.Level, defaulting
+// to info for anything unrecognized.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// Logger is a nil-safe structured logger. Obtain one from New; pass nil
+// to disable logging at every call site transparently.
+type Logger struct {
+	s *slog.Logger
+}
+
+// New builds a Logger for the given options. Format "text" selects the
+// slog text handler; anything else (including the default "") selects
+// JSON. Callers that support -log-format=plain should map that to a nil
+// *Logger themselves rather than calling New.
+func New(opts Options) *Logger {
+	w := opts.W
+	if w == nil {
+		w = os.Stderr
+	}
+	hopts := &slog.HandlerOptions{Level: ParseLevel(opts.Level)}
+	if opts.OmitTime {
+		hopts.ReplaceAttr = func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		}
+	}
+	var h slog.Handler
+	if strings.EqualFold(opts.Format, "text") {
+		h = slog.NewTextHandler(w, hopts)
+	} else {
+		h = slog.NewJSONHandler(w, hopts)
+	}
+	return &Logger{s: slog.New(h)}
+}
+
+// With returns a Logger that adds attrs to every record. Nil in, nil out.
+func (l *Logger) With(attrs ...slog.Attr) *Logger {
+	if l == nil {
+		return nil
+	}
+	args := make([]any, len(attrs))
+	for i, a := range attrs {
+		args[i] = a
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// Enabled reports whether records at level would be emitted (false on a
+// nil logger).
+func (l *Logger) Enabled(level slog.Level) bool {
+	if l == nil {
+		return false
+	}
+	return l.s.Enabled(context.Background(), level)
+}
+
+// Debug logs at debug level. No-op on a nil logger.
+func (l *Logger) Debug(msg string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.s.LogAttrs(context.Background(), slog.LevelDebug, msg, attrs...)
+}
+
+// Info logs at info level. No-op on a nil logger.
+func (l *Logger) Info(msg string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.s.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
+}
+
+// Warn logs at warn level. No-op on a nil logger.
+func (l *Logger) Warn(msg string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.s.LogAttrs(context.Background(), slog.LevelWarn, msg, attrs...)
+}
+
+// Error logs at error level. No-op on a nil logger.
+func (l *Logger) Error(msg string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.s.LogAttrs(context.Background(), slog.LevelError, msg, attrs...)
+}
+
+// RequestID is the canonical request-correlation attribute; the same ID
+// appears on the response's X-Request-ID header and the run's trace
+// spans.
+func RequestID(id string) slog.Attr { return slog.String("request_id", id) }
+
+// Route is the matched route pattern (not the raw URL, which may carry
+// user data).
+func Route(route string) slog.Attr { return slog.String("route", route) }
+
+// Status is the final HTTP status code of a request.
+func Status(code int) slog.Attr { return slog.Int("status", code) }
+
+// Duration is the wall-clock duration of the logged operation.
+func Duration(d time.Duration) slog.Attr { return slog.Duration("duration", d) }
+
+// Err is the canonical error attribute ("error" key, Error() value); nil
+// maps to an empty string so call sites need no branch.
+func Err(err error) slog.Attr {
+	if err == nil {
+		return slog.String("error", "")
+	}
+	return slog.String("error", err.Error())
+}

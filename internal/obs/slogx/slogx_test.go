@@ -1,0 +1,88 @@
+package slogx
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNilLoggerIsNoOp(t *testing.T) {
+	var l *Logger
+	l.Debug("d")
+	l.Info("i", RequestID("r"))
+	l.Warn("w")
+	l.Error("e", Err(nil))
+	if l.With(Route("/x")) != nil {
+		t.Fatal("With on nil must return nil")
+	}
+	if l.Enabled(slog.LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+}
+
+func TestJSONRecordsCarryCanonicalAttrs(t *testing.T) {
+	var b strings.Builder
+	l := New(Options{Format: "json", W: &b, OmitTime: true})
+	l = l.With(Route("/v1/score"))
+	l.Info("request done", RequestID("req-00000042"), Status(200))
+
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("not one JSON record: %v\n%s", err, b.String())
+	}
+	if _, hasTime := rec["time"]; hasTime {
+		t.Fatalf("OmitTime left a time attr: %v", rec)
+	}
+	for k, want := range map[string]any{
+		"msg":        "request done",
+		"level":      "INFO",
+		"route":      "/v1/score",
+		"request_id": "req-00000042",
+		"status":     float64(200),
+	} {
+		if rec[k] != want {
+			t.Errorf("attr %q = %v, want %v (record %v)", k, rec[k], want, rec)
+		}
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	l := New(Options{Level: "warn", W: &b, OmitTime: true})
+	l.Info("dropped")
+	l.Warn("kept")
+	out := b.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filter wrong:\n%s", out)
+	}
+	if !l.Enabled(slog.LevelError) || l.Enabled(slog.LevelDebug) {
+		t.Fatal("Enabled disagrees with the configured level")
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	var b strings.Builder
+	New(Options{Format: "text", W: &b, OmitTime: true}).Info("hello", Status(429))
+	if out := b.String(); !strings.Contains(out, "msg=hello") || !strings.Contains(out, "status=429") {
+		t.Fatalf("text handler output unexpected:\n%s", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn,
+		"error": slog.LevelError, "bogus": slog.LevelInfo, "": slog.LevelInfo,
+	} {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestErrAttr(t *testing.T) {
+	if Err(nil).Value.String() != "" {
+		t.Fatal("Err(nil) must be empty")
+	}
+}

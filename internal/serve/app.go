@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"trajpattern/internal/cli"
 	"trajpattern/internal/core"
 	"trajpattern/internal/obs"
+	"trajpattern/internal/obs/slogx"
 	"trajpattern/internal/trace"
 	"trajpattern/internal/traj"
 )
@@ -53,6 +55,10 @@ type Options struct {
 
 	// Log receives operator notices. Nil means discard.
 	Log io.Writer
+	// Logger, when non-nil, replaces the plain Log status lines with
+	// structured records and turns on structured request logging (the
+	// -log-format=text/json modes; nil is -log-format=plain).
+	Logger *slogx.Logger
 }
 
 // Run builds the server, listens, and serves until ctx is cancelled,
@@ -75,6 +81,15 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 	if logw == nil {
 		logw = io.Discard
 	}
+	// notice routes one lifecycle event: a structured record when a
+	// Logger is configured, else the legacy plain status line.
+	notice := func(plain string, msg string, attrs ...slog.Attr) {
+		if o.Logger != nil {
+			o.Logger.Info(msg, attrs...)
+			return
+		}
+		fmt.Fprintln(logw, plain)
+	}
 
 	ds := o.Dataset
 	if ds == nil {
@@ -91,6 +106,7 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 	cfg := o.Server
 	cfg.Dataset = ds
 	cfg.Log = logw
+	cfg.Logger = o.Logger
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.New()
 	}
@@ -108,7 +124,8 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 			return fmt.Errorf("serve: preload patterns: %w", err)
 		}
 		srv.SetPatterns(pats)
-		fmt.Fprintf(logw, "trajserve: preloaded %d patterns from %s\n", len(pats), o.PatternsPath)
+		notice(fmt.Sprintf("trajserve: preloaded %d patterns from %s", len(pats), o.PatternsPath),
+			"patterns preloaded", slog.Int("patterns", len(pats)), slog.String("path", o.PatternsPath))
 	}
 
 	if o.DebugAddr != "" {
@@ -119,7 +136,8 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 			return err
 		}
 		defer stopDebug() //nolint:errcheck // best-effort teardown
-		fmt.Fprintf(logw, "trajserve: debug server at %s\n", url)
+		notice(fmt.Sprintf("trajserve: debug server at %s", url),
+			"debug server up", slog.String("url", url))
 	}
 
 	ln, err := net.Listen("tcp", o.Addr)
@@ -141,8 +159,11 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(logw, "trajserve: listening on %s (%d trajectories, grid %dx%d)\n",
-		ln.Addr(), len(ds), srv.grid.NX(), srv.grid.NY())
+	notice(fmt.Sprintf("trajserve: listening on %s (%d trajectories, grid %dx%d)",
+		ln.Addr(), len(ds), srv.grid.NX(), srv.grid.NY()),
+		"listening", slog.String("addr", ln.Addr().String()),
+		slog.Int("trajectories", len(ds)),
+		slog.Int("grid_nx", srv.grid.NX()), slog.Int("grid_ny", srv.grid.NY()))
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -156,7 +177,8 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 
 	// Stage one: stop admitting. Queued waiters fail with 503 now and
 	// readyz flips, then the listener closes.
-	fmt.Fprintln(logw, "trajserve: draining — refusing new work, finishing in-flight requests")
+	notice("trajserve: draining — refusing new work, finishing in-flight requests",
+		"draining", slog.String("stage", "stop-admitting"))
 	srv.Admission().StartDrain()
 
 	grace := o.Grace
@@ -169,10 +191,11 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 		// Stage two, forced: grace expired with requests still running.
 		// Cancel their contexts — the miner returns degraded partials at
 		// the next iteration boundary — and close what remains.
-		fmt.Fprintf(logw, "trajserve: grace %v expired — interrupting in-flight requests\n", grace)
+		notice(fmt.Sprintf("trajserve: grace %v expired — interrupting in-flight requests", grace),
+			"drain grace expired", slog.Duration("grace", grace))
 		cancelReqs(fmt.Errorf("serve: drain grace %v expired", grace))
 		if cerr := httpSrv.Close(); cerr != nil {
-			fmt.Fprintf(logw, "trajserve: close: %v\n", cerr)
+			notice(fmt.Sprintf("trajserve: close: %v", cerr), "close failed", slogx.Err(cerr))
 		}
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed by now
@@ -181,14 +204,14 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 	// records behind (mirrors the CLIs' behaviour on SIGINT).
 	if o.TracePath != "" && cfg.Tracer != nil {
 		if err := cli.SaveTrace(o.TracePath, cfg.Tracer); err != nil {
-			fmt.Fprintf(logw, "trajserve: save trace: %v\n", err)
+			notice(fmt.Sprintf("trajserve: save trace: %v", err), "save trace failed", slogx.Err(err))
 		}
 	}
 	if o.MetricsOut != "" {
 		if err := cli.WriteMetricsReport(o.MetricsOut, cfg.Metrics.Snapshot()); err != nil {
-			fmt.Fprintf(logw, "trajserve: write metrics: %v\n", err)
+			notice(fmt.Sprintf("trajserve: write metrics: %v", err), "write metrics failed", slogx.Err(err))
 		}
 	}
-	fmt.Fprintln(logw, "trajserve: drained")
+	notice("trajserve: drained", "drained")
 	return nil
 }

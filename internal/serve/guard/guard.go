@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"trajpattern/internal/obs"
 )
 
 // ShedError reports that a request was load-shed at admission: the wait
@@ -75,6 +77,39 @@ type Admission struct {
 	waiters    []*waiter
 	draining   bool
 	shed       int64 // requests rejected with ShedError or DrainError
+	metrics    AdmissionMetrics
+}
+
+// AdmissionMetrics receives the controller's queue telemetry. Every
+// handle is optional (each is nil-safe per the obs contract), so the zero
+// value disables instrumentation entirely.
+type AdmissionMetrics struct {
+	// Depth tracks the current wait-queue length.
+	Depth *obs.Gauge
+	// DepthMax tracks the queue-length high-water mark (via SetMax).
+	DepthMax *obs.Gauge
+	// Wait observes the queue wait of every successful admission, in
+	// seconds — immediate admissions observe ~0, so the histogram's count
+	// equals the number of admitted acquisitions.
+	Wait *obs.Histogram
+}
+
+// Instrument attaches telemetry handles to the controller. Call before
+// serving traffic; a nil receiver is a no-op.
+func (a *Admission) Instrument(m AdmissionMetrics) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.metrics = m
+	a.mu.Unlock()
+}
+
+// noteQueueLocked publishes the current queue depth. Caller holds a.mu.
+func (a *Admission) noteQueueLocked() {
+	n := int64(len(a.waiters))
+	a.metrics.Depth.Set(n)
+	a.metrics.DepthMax.SetMax(n)
 }
 
 // NewAdmission returns a controller admitting up to capacity units of
@@ -98,7 +133,9 @@ func (a *Admission) Acquire(ctx context.Context, weight int64) (release func(), 
 	if weight < 1 {
 		weight = 1
 	}
+	start := time.Now()
 	a.mu.Lock()
+	wait := a.metrics.Wait
 	if a.draining {
 		a.shed++
 		a.mu.Unlock()
@@ -107,6 +144,7 @@ func (a *Admission) Acquire(ctx context.Context, weight int64) (release func(), 
 	if a.capacity <= 0 {
 		a.inflight += weight
 		a.mu.Unlock()
+		wait.ObserveDuration(time.Since(start))
 		return a.releaseFunc(weight), nil
 	}
 	if weight > a.capacity {
@@ -124,6 +162,7 @@ func (a *Admission) Acquire(ctx context.Context, weight int64) (release func(), 
 	if len(a.waiters) == 0 && a.inflight+weight <= a.capacity {
 		a.inflight += weight
 		a.mu.Unlock()
+		wait.ObserveDuration(time.Since(start))
 		return a.releaseFunc(weight), nil
 	}
 	if a.maxQueue >= 0 && len(a.waiters) >= a.maxQueue {
@@ -139,6 +178,7 @@ func (a *Admission) Acquire(ctx context.Context, weight int64) (release func(), 
 	}
 	w := &waiter{weight: weight, ready: make(chan error, 1)}
 	a.waiters = append(a.waiters, w)
+	a.noteQueueLocked()
 	a.mu.Unlock()
 
 	select {
@@ -146,12 +186,14 @@ func (a *Admission) Acquire(ctx context.Context, weight int64) (release func(), 
 		if gerr != nil {
 			return nil, gerr
 		}
+		wait.ObserveDuration(time.Since(start))
 		return a.releaseFunc(weight), nil
 	case <-ctx.Done():
 		a.mu.Lock()
 		for i, x := range a.waiters {
 			if x == w {
 				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				a.noteQueueLocked()
 				a.mu.Unlock()
 				return nil, fmt.Errorf("guard: admission wait: %w", context.Cause(ctx))
 			}
@@ -181,6 +223,7 @@ func (a *Admission) releaseFunc(weight int64) func() {
 func (a *Admission) release(weight int64) {
 	a.mu.Lock()
 	a.inflight -= weight
+	granted := false
 	for len(a.waiters) > 0 {
 		w := a.waiters[0]
 		if a.capacity > 0 && a.inflight+w.weight > a.capacity {
@@ -188,7 +231,11 @@ func (a *Admission) release(weight int64) {
 		}
 		a.inflight += w.weight
 		a.waiters = a.waiters[1:]
+		granted = true
 		w.ready <- nil
+	}
+	if granted {
+		a.noteQueueLocked()
 	}
 	a.mu.Unlock()
 }
@@ -206,6 +253,7 @@ func (a *Admission) StartDrain() {
 	ws := a.waiters
 	a.waiters = nil
 	a.shed += int64(len(ws))
+	a.noteQueueLocked()
 	a.mu.Unlock()
 	for _, w := range ws {
 		w.ready <- &DrainError{}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"trajpattern/internal/obs"
 )
 
 func TestNilAdmissionAdmitsEverything(t *testing.T) {
@@ -386,5 +388,74 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached in time")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionQueueTelemetryUnderLoad(t *testing.T) {
+	reg := obs.New()
+	a := NewAdmission(1, 64, time.Millisecond)
+	a.Instrument(AdmissionMetrics{
+		Depth:    reg.Gauge("serve.queue.depth"),
+		DepthMax: reg.Gauge("serve.queue.depth.max"),
+		Wait:     reg.Histogram("serve.queue.wait"),
+	})
+
+	// Hold the only slot so every concurrent acquisition below must queue:
+	// the high-water mark is then exact, not scheduling-dependent.
+	hold, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("queued acquire failed: %v", err)
+				return
+			}
+			release()
+		}()
+	}
+	waitFor(t, func() bool { return a.Queued() == n })
+	hold()
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	// Every successful acquisition — the immediate holder plus the n queued
+	// grants — observes the wait histogram exactly once.
+	if got := snap.Histograms["serve.queue.wait"].Count; got != n+1 {
+		t.Errorf("queue.wait count = %d, want %d", got, n+1)
+	}
+	if hw := snap.Gauges["serve.queue.depth.max"]; hw != n {
+		t.Errorf("queue depth high-water = %d, want %d", hw, n)
+	}
+	if depth := snap.Gauges["serve.queue.depth"]; depth != 0 {
+		t.Errorf("final queue depth = %d, want 0", depth)
+	}
+}
+
+func TestAdmissionShedNotObservedInWait(t *testing.T) {
+	reg := obs.New()
+	a := NewAdmission(1, 0, time.Millisecond) // no queue: overflow sheds at once
+	a.Instrument(AdmissionMetrics{Wait: reg.Histogram("serve.queue.wait")})
+
+	release, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed *ShedError
+	if _, err := a.Acquire(context.Background(), 1); !errors.As(err, &shed) {
+		t.Fatalf("full admission returned %v, want *ShedError", err)
+	}
+	release()
+
+	// Only the admitted acquisition was observed: a shed request never had
+	// a queue wait, so it must not deflate the distribution.
+	if got := reg.Snapshot().Histograms["serve.queue.wait"].Count; got != 1 {
+		t.Errorf("queue.wait count = %d, want 1", got)
 	}
 }

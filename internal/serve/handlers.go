@@ -10,6 +10,7 @@ import (
 
 	"trajpattern/internal/core"
 	"trajpattern/internal/geom"
+	"trajpattern/internal/obs"
 	"trajpattern/internal/predict"
 )
 
@@ -242,6 +243,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	next := pp.Predict()
 	writeJSON(w, PredictResponse{Next: PointJSON{X: next.X, Y: next.Y}})
+}
+
+// handleMetrics serves the server's whole registry stamped with build
+// provenance: Prometheus text exposition by default (scrapers point here
+// directly), the JSON report shape with ?format=json. A server built
+// without a Metrics registry still answers — the exposition then carries
+// only the build_info gauge. Unguarded like /healthz: a scrape must
+// succeed precisely when the service is overloaded or draining.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := obs.NewReport(s.cfg.Metrics.Snapshot())
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, rep)
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = obs.WriteProm(w, rep)
 }
 
 // handleHealthz reports process liveness: if this handler runs at all,

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"trajpattern/internal/obs"
+	"trajpattern/internal/obs/slogx"
+	"trajpattern/internal/trace"
+)
+
+func doScore(t *testing.T, url, requestID string) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(ScoreRequest{Patterns: [][]int{{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/score", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		req.Header.Set("X-Request-ID", requestID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+	return resp
+}
+
+func TestRequestIDEchoedAndGenerated(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	// A sane inbound X-Request-ID is echoed back verbatim.
+	resp := doScore(t, ts.URL, "client-abc")
+	if got := resp.Header.Get("X-Request-ID"); got != "client-abc" {
+		t.Errorf("inbound ID not echoed: %q", got)
+	}
+
+	// Without one, the server assigns its deterministic sequence.
+	resp = doScore(t, ts.URL, "")
+	if got := resp.Header.Get("X-Request-ID"); got != "req-00000001" {
+		t.Errorf("generated ID = %q, want req-00000001", got)
+	}
+
+	// An oversized inbound ID is replaced, never echoed at length.
+	resp = doScore(t, ts.URL, strings.Repeat("x", maxRequestIDLen+1))
+	if got := resp.Header.Get("X-Request-ID"); got != "req-00000002" {
+		t.Errorf("oversized ID response = %q, want req-00000002", got)
+	}
+}
+
+func TestRequestIDReachesSpans(t *testing.T) {
+	tr := trace.New()
+	_, ts := newTestServer(t, func(c *Config) { c.Tracer = tr })
+
+	resp := doScore(t, ts.URL, "score-xyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score status = %d", resp.StatusCode)
+	}
+	mineResp := postJSON(t, ts.URL+"/v1/mine", MineRequest{K: 3, MaxLen: 3})
+	if mineResp.StatusCode != http.StatusOK {
+		t.Fatalf("mine status = %d", mineResp.StatusCode)
+	}
+	mineID := mineResp.Header.Get("X-Request-ID")
+	if mineID == "" {
+		t.Fatal("mine response missing X-Request-ID")
+	}
+
+	var reqSpan, minerSpan bool
+	for _, ev := range tr.Events() {
+		switch {
+		case ev.Name == "serve.request" && ev.Attrs["request_id"] == "score-xyz":
+			reqSpan = true
+			if ev.Attrs["route"] != "/v1/score" {
+				t.Errorf("request span route = %v", ev.Attrs["route"])
+			}
+			if ev.Attrs["status"] != http.StatusOK {
+				t.Errorf("request span status = %v", ev.Attrs["status"])
+			}
+		case ev.Name == "miner.run" && ev.Attrs["request_id"] == mineID:
+			// The correlation ID crossed the HTTP layer into the miner via
+			// the request context, so one trace filter follows a request
+			// from admission to the mining loop.
+			minerSpan = true
+		}
+	}
+	if !reqSpan {
+		t.Error("no serve.request span carries the inbound request ID")
+	}
+	if !minerSpan {
+		t.Errorf("no miner.run span carries the mine request's ID %q", mineID)
+	}
+}
+
+func TestShedRequestsNotInLatencyHistogram(t *testing.T) {
+	reg := obs.New()
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Metrics = reg
+		c.Capacity = 1
+		c.MaxQueue = 1
+	})
+
+	// One served request: exactly one latency observation.
+	if resp := doScore(t, ts.URL, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up score = %d", resp.StatusCode)
+	}
+
+	// Occupy the only slot and the only queue seat, then shed a request.
+	release, err := s.Admission().Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	qctx, qcancel := context.WithCancel(context.Background())
+	queued := make(chan struct{})
+	go func() {
+		defer close(queued)
+		if r, err := s.Admission().Acquire(qctx, 1); err == nil {
+			r()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Admission().Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp := doScore(t, ts.URL, ""); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded score = %d, want 429", resp.StatusCode)
+	}
+	qcancel()
+	<-queued
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve.requests/v1/score"]; got != 2 {
+		t.Errorf("request counter = %d, want 2", got)
+	}
+	if got := snap.Counters["serve.shed"]; got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	// The 429 was counted and status-classed but never entered the latency
+	// distribution: shed rejections are constant-time and would drag the
+	// percentiles toward zero exactly when the server is overloaded.
+	if got := snap.Histograms["serve.latency/v1/score"].Count; got != 1 {
+		t.Errorf("latency count = %d, want 1 (shed request observed)", got)
+	}
+	if got := snap.Counters["serve.status.4xx"]; got != 1 {
+		t.Errorf("4xx counter = %d, want 1", got)
+	}
+}
+
+func TestStructuredRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slogx.New(slogx.Options{Format: "json", W: &buf, OmitTime: true})
+	_, ts := newTestServer(t, func(c *Config) { c.Logger = logger })
+
+	if resp := doScore(t, ts.URL, "log-me"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("score status = %d", resp.StatusCode)
+	}
+
+	var rec struct {
+		Msg       string  `json:"msg"`
+		Route     string  `json:"route"`
+		RequestID string  `json:"request_id"`
+		Status    int     `json:"status"`
+		Duration  float64 `json:"duration"`
+	}
+	line, _, _ := strings.Cut(buf.String(), "\n")
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("request log is not one JSON record: %v (%q)", err, line)
+	}
+	if rec.Msg != "request" || rec.Route != "/v1/score" ||
+		rec.RequestID != "log-me" || rec.Status != http.StatusOK {
+		t.Errorf("request record = %+v", rec)
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	reg := obs.New()
+	_, ts := newTestServer(t, func(c *Config) { c.Metrics = reg })
+	if resp := doScore(t, ts.URL, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("score status = %d", resp.StatusCode)
+	}
+
+	// Default: Prometheus text exposition with the exact content type.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateProm(bytes.NewReader(body)); err != nil {
+		t.Errorf("exposition invalid: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), "serve_latency_v1_score_bucket") {
+		t.Errorf("route latency histogram missing from exposition:\n%s", body)
+	}
+
+	// ?format=json: the provenance-stamped report.
+	resp2, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	var rep obs.Report
+	if err := json.NewDecoder(resp2.Body).Decode(&rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if rep.Metrics.Counters["serve.requests/v1/score"] != 1 {
+		t.Errorf("report counters = %v", rep.Metrics.Counters)
+	}
+}
+
+// TestServeMetricsDuringDrain pins the scrape contract under duress: the
+// unguarded /metrics route keeps answering valid expositions while the
+// admission controller is draining and every API route is refusing work.
+func TestServeMetricsDuringDrain(t *testing.T) {
+	reg := obs.New()
+	s, ts := newTestServer(t, func(c *Config) { c.Metrics = reg })
+	s.Admission().StartDrain()
+
+	if resp := doScore(t, ts.URL, ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining score = %d, want 503", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining metrics status = %d, want 200", resp.StatusCode)
+	}
+	if err := obs.ValidateProm(resp.Body); err != nil {
+		t.Errorf("draining exposition invalid: %v", err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trajpattern/internal/cli"
@@ -32,6 +33,7 @@ import (
 	"trajpattern/internal/core/shard"
 	"trajpattern/internal/grid"
 	"trajpattern/internal/obs"
+	"trajpattern/internal/obs/slogx"
 	"trajpattern/internal/serve/guard"
 	"trajpattern/internal/trace"
 	"trajpattern/internal/traj"
@@ -106,6 +108,10 @@ type Config struct {
 	// Log receives operator-facing notices (panic reports). Nil means
 	// discard.
 	Log io.Writer
+	// Logger, when non-nil, receives structured request-completion and
+	// panic records (route, status, request_id, duration). Nil disables
+	// structured request logging (the -log-format=plain default).
+	Logger *slogx.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -168,11 +174,13 @@ type Server struct {
 
 	metrics serveMetrics
 	logMu   sync.Mutex
+	reqSeq  atomic.Int64 // deterministic per-process X-Request-ID sequence
 }
 
 type serveMetrics struct {
-	requests map[string]*obs.Counter // per route
-	statuses map[int]*obs.Counter    // per status class (2, 4, 5)
+	requests map[string]*obs.Counter   // per route
+	latency  map[string]*obs.Histogram // per route; shed (429) requests are never observed
+	statuses map[int]*obs.Counter      // per status class (2, 4, 5)
 	shed     *obs.Counter
 	drained  *obs.Counter
 	panics   *obs.Counter
@@ -187,6 +195,7 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 	}
 	m := serveMetrics{
 		requests: map[string]*obs.Counter{},
+		latency:  map[string]*obs.Histogram{},
 		statuses: map[int]*obs.Counter{},
 		shed:     r.Counter("serve.shed"),
 		drained:  r.Counter("serve.drained"),
@@ -197,6 +206,7 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 	}
 	for _, route := range []string{routeScore, routeMine, routePredict} {
 		m.requests[route] = r.Counter("serve.requests" + route)
+		m.latency[route] = r.Histogram("serve.latency" + route)
 	}
 	for _, class := range []int{2, 4, 5} {
 		m.statuses[class] = r.Counter(fmt.Sprintf("serve.status.%dxx", class))
@@ -273,11 +283,21 @@ func NewServer(cfg Config) (*Server, error) {
 		mux:       http.NewServeMux(),
 		metrics:   newServeMetrics(cfg.Metrics),
 	}
+	// Queue telemetry lives on the admission controller itself: the depth
+	// gauges move the instant the queue does, not once per completed
+	// request, so the high-water mark is exact. Nil-registry handles are
+	// nil, which the controller tolerates per the obs contract.
+	s.admission.Instrument(guard.AdmissionMetrics{
+		Depth:    cfg.Metrics.Gauge("serve.queue.depth"),
+		DepthMax: cfg.Metrics.Gauge("serve.queue.depth.max"),
+		Wait:     cfg.Metrics.Histogram("serve.queue.wait"),
+	})
 	s.mux.Handle("POST "+routeScore, s.guarded(routeScore, cfg.ScoreDeadline, 1, s.handleScore))
 	s.mux.Handle("POST "+routeMine, s.guarded(routeMine, cfg.MineDeadline, mineWeight, s.handleMine))
 	s.mux.Handle("POST "+routePredict, s.guarded(routePredict, cfg.PredictDeadline, 1, s.handlePredict))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -327,11 +347,30 @@ func (s *Server) logf(format string, args ...any) {
 	s.logMu.Unlock()
 }
 
+// maxRequestIDLen caps accepted inbound X-Request-ID values; longer IDs
+// are replaced with a generated one rather than echoed back at length.
+const maxRequestIDLen = 128
+
+// requestID returns the correlation ID for r: the client's X-Request-ID
+// when present and sane, else the server's own deterministic sequence
+// ("req-00000001", ...), so tests and single-process logs correlate
+// without any randomness.
+func (s *Server) requestID(r *http.Request) string {
+	if s == nil {
+		return ""
+	}
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= maxRequestIDLen {
+		return id
+	}
+	return fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+}
+
 // guarded assembles one route's middleware stack, outermost first:
-// instrumentation (status/latency metrics, optional request span), panic
-// recovery, deadline, admission, then the handler. Admission sits inside
-// the deadline so queue wait counts against the route budget and a
-// client disconnect abandons the queue slot.
+// instrumentation (request-ID correlation, status/latency metrics,
+// optional request span, structured request log), panic recovery,
+// deadline, admission, then the handler. Admission sits inside the
+// deadline so queue wait counts against the route budget and a client
+// disconnect abandons the queue slot.
 func (s *Server) guarded(route string, deadline time.Duration, weight int64, h http.HandlerFunc) http.Handler {
 	admitted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		release, err := s.admission.Acquire(r.Context(), weight)
@@ -344,26 +383,29 @@ func (s *Server) guarded(route string, deadline time.Duration, weight int64, h h
 		h(w, r)
 	})
 	stack := guard.WithDeadline(route, deadline, admitted)
-	stack = guard.Recover(route, func(pe *guard.PanicError) {
-		s.metrics.panics.Inc()
-		s.logf("serve: %v\n%s", pe, pe.Stack)
-	}, stack)
 	inner := stack
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := s.requestID(r)
+		w.Header().Set("X-Request-ID", reqID)
+		r = r.WithContext(trace.WithRequestID(r.Context(), reqID))
+		recovered := guard.Recover(route, func(pe *guard.PanicError) {
+			s.metrics.panics.Inc()
+			s.cfg.Logger.Error("panic recovered",
+				slogx.Route(route), slogx.RequestID(reqID), slogx.Err(pe))
+			s.logf("serve: %v\n%s", pe, pe.Stack)
+		}, inner)
 		if c := s.metrics.requests[route]; c != nil {
 			c.Inc()
 		}
-		var stop func()
-		if s.metrics.timer != nil {
-			stop = s.metrics.timer.Start()
-		}
+		start := time.Now()
 		var span *trace.Span
 		if s.cfg.Tracer != nil {
-			span = s.cfg.Tracer.Local().Span("serve.request", trace.Attrs{"route": route})
+			span = s.cfg.Tracer.Local().Span("serve.request",
+				trace.Attrs{"route": route, "request_id": reqID})
 		}
 		sw := guard.NewStatusRecorder(w)
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
-		inner.ServeHTTP(sw, r)
+		recovered.ServeHTTP(sw, r)
 		status := sw.Status()
 		if status == 0 {
 			// Handler wrote nothing (e.g. deadline fired before any
@@ -373,14 +415,25 @@ func (s *Server) guarded(route string, deadline time.Duration, weight int64, h h
 				"request abandoned before a response was produced")
 			status = http.StatusServiceUnavailable
 		}
+		elapsed := time.Since(start)
 		if c := s.metrics.statuses[status/100]; c != nil {
 			c.Inc()
 		}
+		s.metrics.timer.Observe(elapsed)
+		// Shed requests never reach the handler; folding their
+		// constant-time rejections into the route latency distribution
+		// would drag the percentiles toward zero exactly when the server
+		// is overloaded.
+		if status != http.StatusTooManyRequests {
+			if lat := s.metrics.latency[route]; lat != nil {
+				lat.ObserveDuration(elapsed)
+			}
+		}
 		s.metrics.queued.Set(int64(s.admission.Queued()))
 		span.Attr("status", status).End()
-		if stop != nil {
-			stop()
-		}
+		s.cfg.Logger.Info("request",
+			slogx.Route(route), slogx.RequestID(reqID),
+			slogx.Status(status), slogx.Duration(elapsed))
 	})
 }
 

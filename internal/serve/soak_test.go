@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -176,4 +179,96 @@ func TestSoakOverloadedServer(t *testing.T) {
 	if snap.Counter("serve.requests/v1/score") == 0 {
 		t.Error("no requests recorded in metrics")
 	}
+}
+
+// TestSoakMetricsConformance scrapes /metrics continuously while
+// concurrent clients load the server, validating every response against
+// the strict Prometheus text-format checker: the scrape contract must
+// hold mid-flight — half-written families or broken escaping under
+// concurrent updates would fail here, not in a monitoring stack.
+func TestSoakMetricsConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	reg := obs.New()
+	s, err := NewServer(Config{
+		Dataset:       testDataset(),
+		GridN:         6,
+		Capacity:      2,
+		MaxQueue:      2,
+		RetryAfter:    10 * time.Millisecond,
+		ScoreDeadline: 5 * time.Second,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const (
+		clients  = 8
+		requests = 20
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				body := fmt.Sprintf(`{"patterns":[[%d],[%d,%d]]}`, r%36, (r+1)%36, (r+2)%36)
+				resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader(body))
+				if err != nil {
+					continue // outcome mix is TestSoakOverloadedServer's business
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	loadDone := make(chan struct{})
+	go func() { wg.Wait(); close(loadDone) }()
+
+	scrapes, finals := 0, 0
+	for finals < 1 {
+		select {
+		case <-loadDone:
+			// One more scrape after the load stops, so the validated set
+			// includes the settled end state as well as mid-flight ones.
+			finals++
+		default:
+		}
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+			t.Fatalf("scrape %d Content-Type = %q, want %q", scrapes, ct, obs.PromContentType)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := obs.ValidateProm(bytes.NewReader(body)); verr != nil {
+			t.Fatalf("scrape %d is not valid Prometheus exposition: %v\n%s", scrapes, verr, body)
+		}
+		scrapes++
+		if finals > 0 {
+			// The settled exposition must carry the request-to-shard
+			// telemetry families this PR promises scrapers.
+			for _, want := range []string{
+				"serve_requests_v1_score",
+				"serve_latency_v1_score_bucket",
+				"serve_queue_wait_count",
+				"serve_queue_depth_max",
+				"trajpattern_build_info",
+			} {
+				if !strings.Contains(string(body), want) {
+					t.Errorf("final scrape missing %s:\n%s", want, body)
+				}
+			}
+		}
+	}
+	t.Logf("validated %d scrapes under load", scrapes)
 }

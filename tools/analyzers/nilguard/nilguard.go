@@ -53,7 +53,7 @@ var pkgs string
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs",
-		"trajpattern/internal/obs,trajpattern/internal/trace,trajpattern/internal/serve,trajpattern/internal/serve/guard,trajpattern/internal/serve/chaos",
+		"trajpattern/internal/obs,trajpattern/internal/obs/slogx,trajpattern/internal/trace,trajpattern/internal/serve,trajpattern/internal/serve/guard,trajpattern/internal/serve/chaos",
 		"comma-separated package paths (or /-suffixes) whose handle types are checked")
 }
 
