@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"trajpattern/internal/faultio"
+	"trajpattern/internal/testutil/leakcheck"
 )
 
 func sampleCheckpoint() *Checkpoint {
@@ -198,6 +199,7 @@ func TestMineResumeFingerprintMismatch(t *testing.T) {
 // with a fresh scorer, and the final persisted answer is byte-identical
 // to the uninterrupted run's.
 func TestMineResumeEqualsUninterrupted(t *testing.T) {
+	defer leakcheck.Check(t)()
 	data := randomDataset(7, 8, 20, 0.1)
 	// The §5 MinLen variant takes several iterations to saturate, giving
 	// resume points both before and after the first long patterns appear.

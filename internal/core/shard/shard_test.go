@@ -12,6 +12,7 @@ import (
 	"trajpattern/internal/datagen"
 	"trajpattern/internal/grid"
 	"trajpattern/internal/obs"
+	"trajpattern/internal/testutil/leakcheck"
 )
 
 // zebraScorer builds a scorer over a small seeded zebra dataset on an
@@ -173,6 +174,7 @@ func TestShardMineCancelledContextDegrades(t *testing.T) {
 // requires the resumed run's answer to equal the uninterrupted run's
 // exactly (same patterns, bit-equal NMs).
 func TestShardCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	defer leakcheck.Check(t)()
 	s := zebraScorer(t, 7, 10, 20, 10)
 	n := 4
 	eng, err := NewEngine(s, n)
@@ -308,6 +310,7 @@ func TestShardSingleDelegates(t *testing.T) {
 // TestShardPoolExecutesEveryTask: every task runs exactly once for any
 // worker/task-count combination, including stealing-heavy shapes.
 func TestShardPoolExecutesEveryTask(t *testing.T) {
+	defer leakcheck.Check(t)()
 	for _, tc := range []struct{ workers, tasks int }{
 		{1, 5}, {2, 2}, {3, 10}, {8, 3}, {4, 64}, {2, 0},
 	} {
@@ -330,6 +333,7 @@ func TestShardPoolExecutesEveryTask(t *testing.T) {
 // with an empty deque must take the oldest entry of the next non-empty
 // peer, and local pops must come from the back.
 func TestShardPoolSteals(t *testing.T) {
+	defer leakcheck.Check(t)()
 	d := &deques{queues: [][]int{{0, 2}, {1}, {}}}
 	if i, stolen, ok := d.next(0); !ok || i != 2 || stolen {
 		t.Fatalf("local pop = %d (stolen=%v), want back entry 2, not stolen", i, stolen)

@@ -8,13 +8,13 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"runtime"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"trajpattern/internal/cli"
+	"trajpattern/internal/testutil/leakcheck"
 )
 
 // TestRunSigtermDrain is the trajserve shutdown contract end to end: a
@@ -23,7 +23,7 @@ import (
 // request is allowed to finish and receives its full 200, Run returns
 // nil (exit 0), and no goroutines are left behind.
 func TestRunSigtermDrain(t *testing.T) {
-	before := runtime.NumGoroutine()
+	leak := leakcheck.Take()
 
 	ctx, stop := cli.SignalContext(context.Background(), io.Discard, "trajserve-test")
 	defer stop()
@@ -132,19 +132,10 @@ func TestRunSigtermDrain(t *testing.T) {
 
 	stop()
 	http.DefaultClient.CloseIdleConnections()
-	leakDeadline := time.Now().Add(10 * time.Second)
-	for {
-		runtime.GC()
-		now := runtime.NumGoroutine()
-		if now <= before+3 {
-			break
+	if leaked := leak.Wait(10 * time.Second); len(leaked) > 0 {
+		for _, g := range leaked {
+			t.Errorf("goroutine leaked after drain:\n%s", g.Stack)
 		}
-		if time.Now().After(leakDeadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked after drain: before=%d now=%d\n%s", before, now, buf[:n])
-		}
-		time.Sleep(50 * time.Millisecond)
 	}
 }
 
@@ -152,6 +143,7 @@ func TestRunSigtermDrain(t *testing.T) {
 // outlives the grace, its context is cancelled and Run still returns
 // cleanly instead of hanging forever on a wedged request.
 func TestRunGraceExpiryInterrupts(t *testing.T) {
+	defer leakcheck.Check(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 

@@ -8,7 +8,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -17,6 +16,7 @@ import (
 	"trajpattern/internal/obs"
 	"trajpattern/internal/serve/chaos"
 	"trajpattern/internal/stat"
+	"trajpattern/internal/testutil/leakcheck"
 )
 
 // TestSoakOverloadedServer is the package's central robustness claim: N
@@ -30,7 +30,7 @@ func TestSoakOverloadedServer(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
-	before := runtime.NumGoroutine()
+	leak := leakcheck.Take()
 
 	reg := obs.New()
 	s, err := NewServer(Config{
@@ -157,22 +157,14 @@ func TestSoakOverloadedServer(t *testing.T) {
 	ts.Close()
 	http.DefaultClient.CloseIdleConnections()
 
-	// Goroutine-leak check, stdlib only: after the server is gone, the
-	// count must settle back to (near) the starting point. Poll with a
-	// deadline — lingering net/http conns take a moment to unwind.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		runtime.GC()
-		now := runtime.NumGoroutine()
-		if now <= before+3 {
-			break
+	// Goroutine-leak check: after the server is gone, every goroutine the
+	// test spawned must be gone too. leakcheck polls with a deadline —
+	// lingering net/http conns take a moment to unwind — and names each
+	// survivor by stack instead of reporting a bare count delta.
+	if leaked := leak.Wait(10 * time.Second); len(leaked) > 0 {
+		for _, g := range leaked {
+			t.Errorf("goroutine leaked after soak:\n%s", g.Stack)
 		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: before=%d now=%d\n%s", before, now, buf[:n])
-		}
-		time.Sleep(50 * time.Millisecond)
 	}
 
 	snap := reg.Snapshot()
@@ -190,6 +182,7 @@ func TestSoakMetricsConformance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
+	defer leakcheck.Check(t)()
 	reg := obs.New()
 	s, err := NewServer(Config{
 		Dataset:       testDataset(),
@@ -205,6 +198,7 @@ func TestSoakMetricsConformance(t *testing.T) {
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+	defer http.DefaultClient.CloseIdleConnections()
 
 	const (
 		clients  = 8

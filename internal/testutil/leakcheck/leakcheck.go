@@ -1,0 +1,222 @@
+// Package leakcheck is the dynamic counterpart of trajlint's goleak
+// analyzer: where the static pass proves every `go func` literal has a
+// join witness on all paths, this harness verifies at test time that the
+// goroutines actually converged — a snapshot of goroutine stacks taken at
+// test start must be re-reached (minus an allowlist) by test end.
+//
+// Usage, in any test that exercises the concurrent runtime:
+//
+//	func TestDrain(t *testing.T) {
+//		defer leakcheck.Check(t)()
+//		... start servers, pools, signal handlers ...
+//	}
+//
+// Check snapshots the live goroutines and returns the verification
+// function; deferring it asserts convergence after the test body (and its
+// own defers that run later must be avoided — put Check first so its
+// verification runs last). Convergence polls with a deadline because
+// teardown is asynchronous: net/http connection goroutines, timer
+// goroutines and signal watchers take a few scheduler rounds to unwind
+// after Close returns.
+//
+// The allowlist is matched against each goroutine's stack text. Built-in
+// entries cover the runtime's own service goroutines and the testing
+// framework; tests add entries with Ignore for intentionally long-lived
+// infrastructure (an httptest server shared by subtests, say).
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// defaultIgnores matches goroutines that are not leaks: the runtime's and
+// stdlib's service goroutines, and the test framework itself.
+var defaultIgnores = []string{
+	"testing.(*T).Run",      // the test runner's own goroutines
+	"testing.(*M).",         // test main
+	"testing.runFuzzing",    // fuzz workers
+	"testing.tRunner",       //
+	"runtime.goexit",        // exiting goroutines caught mid-teardown
+	"runtime/trace",         //
+	"os/signal.signal_recv", // the process-wide signal watcher
+	"os/signal.loop",        //
+	"runtime.gc",            //
+	"runtime.bgsweep",       //
+	"runtime.bgscavenge",    //
+	"runtime.forcegchelper", //
+	"runtime.ReadTrace",     //
+}
+
+// Goroutine is one parsed goroutine record from a runtime.Stack dump.
+type Goroutine struct {
+	// ID is the runtime's goroutine id from the dump header.
+	ID int
+	// State is the scheduler state from the header ("running", "chan
+	// receive", "IO wait", ...).
+	State string
+	// Stack is the full stack text, including the header line.
+	Stack string
+}
+
+// Snapshot is the set of goroutines live at Take time, plus the filter
+// configuration for later comparison.
+type Snapshot struct {
+	before  map[int]bool
+	ignores []string
+}
+
+// Option configures Take/Check.
+type Option func(*options)
+
+type options struct {
+	ignores []string
+	timeout time.Duration
+}
+
+// Ignore adds a substring pattern: goroutines whose stack contains it are
+// never reported as leaks.
+func Ignore(substr string) Option {
+	return func(o *options) { o.ignores = append(o.ignores, substr) }
+}
+
+// Timeout bounds how long the convergence poll waits (default 10s).
+func Timeout(d time.Duration) Option {
+	return func(o *options) { o.timeout = d }
+}
+
+// Take snapshots the currently live goroutines.
+func Take(opts ...Option) Snapshot {
+	o := options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := Snapshot{before: map[int]bool{}, ignores: append(append([]string(nil), defaultIgnores...), o.ignores...)}
+	for _, g := range dump() {
+		s.before[g.ID] = true
+	}
+	return s
+}
+
+// Leaked returns the goroutines live now that were not in the snapshot
+// and match no ignore pattern. A single instantaneous call is racy by
+// design — use Wait for the converged verdict.
+func (s Snapshot) Leaked() []Goroutine {
+	var out []Goroutine
+	for _, g := range dump() {
+		if s.before[g.ID] {
+			continue
+		}
+		if s.ignored(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Wait polls until no leaked goroutines remain or the timeout expires,
+// returning the final leak set (empty on convergence). It nudges the
+// garbage collector between polls: finalizer-driven teardown (file
+// handles, pollers) otherwise holds goroutines alive arbitrarily long.
+func (s Snapshot) Wait(timeout time.Duration) []Goroutine {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		runtime.GC()
+		leaked := s.Leaked()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Check snapshots now and returns the verification function; defer it at
+// the top of a test. On non-convergence it fails the test with every
+// leaked stack, which is exactly the evidence a goleak diagnostic asks
+// for dynamically.
+func Check(t testing.TB, opts ...Option) func() {
+	t.Helper()
+	o := options{timeout: 10 * time.Second}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := Take(opts...)
+	return func() {
+		t.Helper()
+		leaked := s.Wait(o.timeout)
+		if len(leaked) == 0 {
+			return
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "leakcheck: %d goroutine(s) leaked after %v:\n", len(leaked), o.timeout)
+		for _, g := range leaked {
+			fmt.Fprintf(&b, "\n%s\n", g.Stack)
+		}
+		t.Error(b.String())
+	}
+}
+
+func (s Snapshot) ignored(g Goroutine) bool {
+	for _, pat := range s.ignores {
+		if strings.Contains(g.Stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// dump captures and parses the full goroutine stack dump.
+func dump() []Goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return parse(string(buf))
+}
+
+// parse splits a runtime.Stack(all=true) dump into records. Headers look
+// like "goroutine 123 [chan receive, 2 minutes]:".
+func parse(s string) []Goroutine {
+	var out []Goroutine
+	for _, block := range strings.Split(s, "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		header, _, _ := strings.Cut(block, "\n")
+		rest := strings.TrimPrefix(header, "goroutine ")
+		if rest == header {
+			continue
+		}
+		idStr, stateStr, ok := strings.Cut(rest, " ")
+		if !ok {
+			continue
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			continue
+		}
+		state := strings.TrimSuffix(strings.TrimPrefix(stateStr, "["), "]:")
+		if i := strings.IndexByte(state, ','); i >= 0 {
+			state = state[:i]
+		}
+		out = append(out, Goroutine{ID: id, State: state, Stack: block})
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleDump = `goroutine 1 [running]:
+main.main()
+	/tmp/x/main.go:10 +0x1a
+
+goroutine 18 [chan receive, 3 minutes]:
+main.worker(0xc000010000)
+	/tmp/x/main.go:22 +0x45
+created by main.main
+	/tmp/x/main.go:15 +0x90
+
+goroutine 19 [IO wait]:
+internal/poll.runtime_pollWait(0x7f0, 0x72)
+	/usr/local/go/src/runtime/netpoll.go:345 +0x85
+`
+
+func TestParse(t *testing.T) {
+	gs := parse(sampleDump)
+	if len(gs) != 3 {
+		t.Fatalf("parsed %d goroutines, want 3", len(gs))
+	}
+	if gs[0].ID != 1 || gs[0].State != "running" {
+		t.Errorf("first record = %d %q, want 1 running", gs[0].ID, gs[0].State)
+	}
+	if gs[1].ID != 18 || gs[1].State != "chan receive" {
+		t.Errorf("second record = %d %q, want 18 chan receive", gs[1].ID, gs[1].State)
+	}
+	if !strings.Contains(gs[1].Stack, "created by main.main") {
+		t.Errorf("stack text lost the creator frame: %q", gs[1].Stack)
+	}
+	if gs[2].State != "IO wait" {
+		t.Errorf("third state = %q, want IO wait", gs[2].State)
+	}
+}
+
+func TestTakeSeesSelf(t *testing.T) {
+	s := Take()
+	if len(s.before) == 0 {
+		t.Fatal("snapshot saw no goroutines at all")
+	}
+}
+
+func TestWaitConvergesAfterJoin(t *testing.T) {
+	s := Take()
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-block
+		close(done)
+	}()
+	if leaked := s.Leaked(); len(leaked) == 0 {
+		t.Fatal("Leaked missed a live extra goroutine")
+	}
+	close(block)
+	<-done
+	if leaked := s.Wait(5 * time.Second); len(leaked) != 0 {
+		t.Fatalf("Wait reported %d leaks after join: %v", len(leaked), leaked)
+	}
+}
+
+func TestWaitReportsStuckGoroutine(t *testing.T) {
+	s := Take()
+	block := make(chan struct{})
+	go func() {
+		<-block // held open past the poll window, then released
+	}()
+	leaked := s.Wait(200 * time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("Wait reported %d leaks, want 1", len(leaked))
+	}
+	if !strings.Contains(leaked[0].Stack, "leakcheck.TestWaitReportsStuckGoroutine") {
+		t.Errorf("leak stack does not name the spawner:\n%s", leaked[0].Stack)
+	}
+	close(block)
+}
+
+func TestIgnoreSuppresses(t *testing.T) {
+	s := Take(Ignore("leakcheck.TestIgnoreSuppresses"))
+	block := make(chan struct{})
+	go func() {
+		<-block
+	}()
+	if leaked := s.Wait(200 * time.Millisecond); len(leaked) != 0 {
+		t.Fatalf("Ignore pattern did not suppress: %v", leaked)
+	}
+	close(block)
+}
+
+func TestCheckPassesOnCleanTest(t *testing.T) {
+	defer Check(t)()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

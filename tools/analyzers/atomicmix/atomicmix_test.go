@@ -1,0 +1,19 @@
+package atomicmix_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"trajpattern/tools/analyzers/atomicmix"
+	"trajpattern/tools/analyzers/internal/checktest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	checktest.Run(t, atomicmix.Analyzer,
+		filepath.Join("testdata", "src", "obs"), "trajpattern/internal/obs")
+}
+
+func TestAtomicMixOutsideScope(t *testing.T) {
+	checktest.Run(t, atomicmix.Analyzer,
+		filepath.Join("testdata", "src", "outside"), "trajpattern/internal/report")
+}

@@ -1,0 +1,95 @@
+// Fixture for the atomicmix analyzer: a miniature of internal/obs's
+// atomic counter and histogram internals.
+package obs
+
+import "sync/atomic"
+
+// Counter mixes legacy sync/atomic calls with plain accesses.
+type Counter struct {
+	n     int64
+	label string
+}
+
+// Inc touches n through sync/atomic: from here on, n is an atomic field.
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Value reads n atomically: good.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.n) }
+
+// Reset writes the atomic field plainly: flagged.
+func (c *Counter) Reset() {
+	c.n = 0 // want `field n is accessed with sync/atomic elsewhere but read/written plainly here`
+}
+
+// Peek reads the atomic field plainly: flagged.
+func (c *Counter) Peek() int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere but read/written plainly here`
+}
+
+// Label touches only the non-atomic field: good.
+func (c *Counter) Label() string { return c.label }
+
+// NewCounter constructs through a composite literal (init path): good.
+func NewCounter() *Counter { return &Counter{n: 0} }
+
+func init() {
+	shared.n = 7 // init functions are the package's init path: good
+}
+
+var shared Counter
+
+// Drain reads plainly under a documented waiver: suppressed.
+func (c *Counter) Drain() int64 {
+	v := c.n //trajlint:allow atomicmix -- fixture: single-writer teardown path, no concurrent updaters left
+	return v
+}
+
+// Stale carries a reason-less waiver: the directive itself is flagged and
+// the plain access still reported.
+func (c *Counter) Stale() int64 {
+	//trajlint:allow atomicmix // want `malformed trajlint directive`
+	return c.n // want `field n is accessed with sync/atomic elsewhere but read/written plainly here`
+}
+
+// Gauge uses a typed atomic.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set uses the typed atomic's methods: good.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Snapshot copies the typed atomic by value: both the plain write and the
+// value read are flagged.
+func (g *Gauge) Snapshot() Gauge {
+	cp := Gauge{}
+	cp.v = g.v // want `atomic.Int64 field v is assigned plainly` `atomic.Int64 field v is copied by value in an assignment`
+	return cp
+}
+
+// Hist holds a slice of typed atomics, like the obs Histogram's buckets.
+type Hist struct {
+	counts []atomic.Int64
+}
+
+// Observe indexes and uses methods: good.
+func (h *Hist) Observe(i int) { h.counts[i].Add(1) }
+
+// Sum ranges by index and loads: good.
+func (h *Hist) Sum() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// BadSum ranges by value, copying each element out from under the
+// protocol: flagged.
+func (h *Hist) BadSum() int64 {
+	var n int64
+	for _, c := range h.counts { // want `range copies atomic.Int64 elements by value`
+		n += c.Load()
+	}
+	return n
+}

@@ -1,0 +1,11 @@
+// Fixture: the same shapes in a package outside atomicmix's scope produce
+// no diagnostics.
+package outside
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) reset() { c.n = 0 } // out of scope: not flagged

@@ -1,10 +1,13 @@
-// Trajlint is the repo's static-analysis suite: five go/analysis analyzers
+// Trajlint is the repo's static-analysis suite: nine go/analysis analyzers
 // that enforce the reproduction's project-specific invariants — nil-safe
 // instrumentation handles (nilguard), bit-deterministic work in the gated
 // packages (determinism), tolerance-based float comparison in the numeric
-// packages (floatcmp), leak-free file/cursor lifecycles (closepair), and
+// packages (floatcmp), leak-free file/cursor lifecycles (closepair),
 // first-parameter, never-stored context.Context plumbing in the
-// cancellable packages (ctxfirst).
+// cancellable packages (ctxfirst), and the concurrency-safety suite over
+// the sharded runtime: single-discipline atomics (atomicmix), lock
+// release/self-deadlock/copy rules (lockdiscipline), joined goroutines
+// (goleak) and bounded channel sends (sendbound).
 //
 // It is a unitchecker binary, driven by the go command:
 //
@@ -21,11 +24,15 @@ package main
 import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"trajpattern/tools/analyzers/atomicmix"
 	"trajpattern/tools/analyzers/closepair"
 	"trajpattern/tools/analyzers/ctxfirst"
 	"trajpattern/tools/analyzers/determinism"
 	"trajpattern/tools/analyzers/floatcmp"
+	"trajpattern/tools/analyzers/goleak"
+	"trajpattern/tools/analyzers/lockdiscipline"
 	"trajpattern/tools/analyzers/nilguard"
+	"trajpattern/tools/analyzers/sendbound"
 )
 
 func main() {
@@ -35,5 +42,9 @@ func main() {
 		floatcmp.Analyzer,
 		closepair.Analyzer,
 		ctxfirst.Analyzer,
+		atomicmix.Analyzer,
+		lockdiscipline.Analyzer,
+		goleak.Analyzer,
+		sendbound.Analyzer,
 	)
 }

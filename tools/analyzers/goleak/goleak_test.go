@@ -1,0 +1,19 @@
+package goleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"trajpattern/tools/analyzers/goleak"
+	"trajpattern/tools/analyzers/internal/checktest"
+)
+
+func TestGoleak(t *testing.T) {
+	checktest.Run(t, goleak.Analyzer,
+		filepath.Join("testdata", "src", "serve"), "trajpattern/internal/serve")
+}
+
+func TestGoleakOutsideScope(t *testing.T) {
+	checktest.Run(t, goleak.Analyzer,
+		filepath.Join("testdata", "src", "outside"), "trajpattern/internal/report")
+}

@@ -1,0 +1,7 @@
+// Fixture: fire-and-forget outside goleak's scope produces no
+// diagnostics.
+package outside
+
+func spawn() {
+	go func() {}() // out of scope: not flagged
+}

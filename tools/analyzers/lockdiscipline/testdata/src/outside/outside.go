@@ -1,0 +1,11 @@
+// Fixture: lock shapes outside lockdiscipline's scope produce no
+// diagnostics.
+package outside
+
+import "sync"
+
+type box struct{ mu sync.Mutex }
+
+func leaky(b *box) {
+	b.mu.Lock() // out of scope: not flagged
+}

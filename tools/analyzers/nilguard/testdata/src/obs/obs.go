@@ -1,6 +1,8 @@
 // Fixture for the nilguard analyzer: a miniature of internal/obs.
 package obs
 
+import "sync/atomic"
+
 // Counter is a handle type: exported pointer-receiver methods must be
 // nil-safe.
 type Counter struct{ v int64 }
@@ -62,4 +64,51 @@ func (c *Counter) Swapped() int64 {
 		return 0
 	}
 	return c.v
+}
+
+// Histogram mirrors internal/obs.Histogram: a handle whose state is a
+// slice of typed atomics; exported methods must guard before indexing it.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64
+}
+
+// Observe guards first, then updates a bucket in place by index: good.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+}
+
+// Counts dereferences the bucket slice before any guard: flagged.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.buckets)) // want `exported method Counts dereferences receiver h before a nil guard`
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Logger mirrors internal/obs/slogx.Logger: a handle wrapping an inner
+// sink, where nil means "logging disabled".
+type Logger struct{ sink *Counter }
+
+// Log guards the handle, then delegates to the (itself nil-safe) sink:
+// good.
+func (l *Logger) Log(n int64) {
+	if l == nil {
+		return
+	}
+	l.sink.Add(n)
+}
+
+// Enabled reads the sink field before guarding: flagged.
+func (l *Logger) Enabled() bool {
+	return l.sink != nil // want `exported method Enabled dereferences receiver l before a nil guard`
 }

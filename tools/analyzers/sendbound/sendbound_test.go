@@ -1,0 +1,19 @@
+package sendbound_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"trajpattern/tools/analyzers/internal/checktest"
+	"trajpattern/tools/analyzers/sendbound"
+)
+
+func TestSendBound(t *testing.T) {
+	checktest.Run(t, sendbound.Analyzer,
+		filepath.Join("testdata", "src", "serve"), "trajpattern/internal/serve")
+}
+
+func TestSendBoundOutsideScope(t *testing.T) {
+	checktest.Run(t, sendbound.Analyzer,
+		filepath.Join("testdata", "src", "outside"), "trajpattern/internal/report")
+}

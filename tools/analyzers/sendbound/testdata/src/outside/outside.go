@@ -1,0 +1,7 @@
+// Fixture: unguarded sends outside sendbound's scope produce no
+// diagnostics.
+package outside
+
+func push(out chan int) {
+	out <- 1 // out of scope: not flagged
+}

@@ -1,0 +1,105 @@
+// Fixture for the sendbound analyzer: channel-send shapes from the
+// serving runtime.
+package serve
+
+import "context"
+
+// bufferedLocal sends on a channel made with capacity 1: good (the
+// app.Run serveErr shape).
+func bufferedLocal(serve func() error) error {
+	errc := make(chan error, 1)
+	go func() { errc <- serve() }()
+	return <-errc
+}
+
+// bufferedVarCap sends on a channel sized by a variable: accepted (the
+// construction sized it; zero is an admitted blind spot).
+func bufferedVarCap(n int) chan int {
+	out := make(chan int, n)
+	out <- 1
+	return out
+}
+
+// ctxGuarded sends under a select with a cancellation escape: good.
+func ctxGuarded(ctx context.Context, out chan int) {
+	select {
+	case out <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// defaultGuarded drops when no receiver is ready: good.
+func defaultGuarded(out chan int) {
+	select {
+	case out <- 1:
+	default:
+	}
+}
+
+// bareUnbuffered parks forever when the receiver is gone: flagged.
+func bareUnbuffered() {
+	c := make(chan int)
+	c <- 1 // want `unbounded channel send`
+}
+
+// paramSend sends on a channel of unknown construction: flagged.
+func paramSend(out chan int) {
+	out <- 1 // want `unbounded channel send`
+}
+
+// caseBodySend sits in a select case *body*, after the select fired: the
+// select guards nothing and the channel is unknown: flagged.
+func caseBodySend(ctx context.Context, out chan int) {
+	select {
+	case <-ctx.Done():
+		out <- 1 // want `unbounded channel send`
+	}
+}
+
+// sendOnlySelect has no escape case: flagged.
+func sendOnlySelect(a, b chan int) {
+	select {
+	case a <- 1: // want `unbounded channel send`
+	case b <- 2: // want `unbounded channel send`
+	}
+}
+
+// waiter mirrors guard.Admission's queue entry: the field is made
+// buffered at every construction site, so sends on it are good.
+type waiter struct {
+	ready chan error
+}
+
+func newWaiter() *waiter {
+	return &waiter{ready: make(chan error, 1)}
+}
+
+func grant(w *waiter) {
+	w.ready <- nil
+}
+
+// leaky mirrors the same shape with an unbuffered construction: every
+// send through the field is flagged.
+type leaky struct {
+	ch chan int
+}
+
+func newLeaky() *leaky {
+	return &leaky{ch: make(chan int)}
+}
+
+func pushLeaky(l *leaky) {
+	l.ch <- 1 // want `unbounded channel send`
+}
+
+// waived documents a send whose receiver is structurally guaranteed.
+func waived(out chan int) {
+	out <- 1 //trajlint:allow sendbound -- fixture: receiver spawned unconditionally two lines up
+}
+
+// staleWaiver carries a reason-less waiver: the directive is flagged and
+// the send still reported.
+func staleWaiver(out chan int) {
+	//trajlint:allow sendbound // want `malformed trajlint directive`
+	out <- 1 // want `unbounded channel send`
+}
