@@ -1,0 +1,205 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"trajpattern/internal/core"
+	"trajpattern/internal/core/shard"
+	"trajpattern/internal/core/shard/supervisor"
+	"trajpattern/internal/faultio"
+	"trajpattern/internal/traj"
+)
+
+// ShardWorkerOptions parameterizes one shard-worker invocation: the
+// hidden `-shard-worker i/n` mode both trajmine and trajserve dispatch
+// to, in which the process mines exactly one shard to its checkpoint
+// file and exits with a typed status (supervisor exit codes).
+//
+// The mining knobs must mirror the supervising parent's exactly — the
+// checkpoint fingerprint hashes them, so any drift makes the worker
+// refuse its own resume checkpoint.
+type ShardWorkerOptions struct {
+	// Shard and Shards select the slot: mine shard Shard of Shards.
+	Shard  int
+	Shards int
+	// DataPath is the trajectory file; the worker rebuilds the full
+	// engine from it so its partition matches the parent's.
+	DataPath string
+
+	K        int
+	GridN    int
+	MinLen   int
+	MaxLen   int
+	MaxLowQ  int
+	DeltaMul float64
+
+	MaxIters    int
+	MaxWallTime time.Duration
+	// CheckpointPath is the per-shard checkpoint path *prefix* (the
+	// worker derives its own file via shard.CheckpointPath). Required:
+	// the checkpoint file is the worker's entire output channel.
+	CheckpointPath  string
+	CheckpointEvery int
+	// Resume restores the shard's checkpoint before mining. Missing or
+	// unreadable files start fresh — a supervised relaunch must always
+	// be able to pass Resume.
+	Resume bool
+
+	// CheckpointFS overrides the checkpoint filesystem (fault-injection
+	// tests); nil means the real OS.
+	CheckpointFS faultio.FS
+	// OnProgress, when non-nil, observes each grow iteration (chaos
+	// harness hook for crash- and stall-at-iteration behaviors).
+	OnProgress func(core.Progress)
+}
+
+// RunShardWorker mines one shard and reports through the supervisor
+// protocol: a WorkerStatus JSON line on stdout and a typed exit code as
+// the return value. Human-readable diagnostics go to stderr. ctx
+// cancellation (the supervisor's SIGTERM) drains gracefully: progress
+// up to the last iteration boundary stays checkpointed and the worker
+// exits ExitInterrupted.
+func RunShardWorker(ctx context.Context, stdout, stderr io.Writer, o ShardWorkerOptions) int {
+	st := supervisor.WorkerStatus{Shard: o.Shard, Shards: o.Shards}
+	emit := func(code int) int {
+		b, err := json.Marshal(st)
+		if err == nil {
+			fmt.Fprintln(stdout, string(b))
+		}
+		return code
+	}
+	fail := func(code int, err error) int {
+		st.Error = err.Error()
+		fmt.Fprintf(stderr, "shard-worker: %v\n", err)
+		return emit(code)
+	}
+
+	if o.Shards < 1 || o.Shard < 0 || o.Shard >= o.Shards {
+		return fail(supervisor.ExitUsage, fmt.Errorf("cli: shard slot %d/%d out of range", o.Shard, o.Shards))
+	}
+	if o.DataPath == "" {
+		return fail(supervisor.ExitUsage, errors.New("cli: shard worker needs -in"))
+	}
+	if o.CheckpointPath == "" {
+		return fail(supervisor.ExitUsage, errors.New("cli: shard worker needs -checkpoint"))
+	}
+
+	ds, err := traj.ReadFile(o.DataPath)
+	if err != nil {
+		return fail(supervisor.ExitConfig, err)
+	}
+	if len(ds) == 0 {
+		return fail(supervisor.ExitConfig, errors.New("cli: empty dataset"))
+	}
+	g := FitGrid(ds, o.GridN)
+	s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: o.DeltaMul * g.CellWidth()})
+	if err != nil {
+		return fail(supervisor.ExitConfig, err)
+	}
+	eng, err := shard.NewEngine(s, o.Shards)
+	if err != nil {
+		return fail(supervisor.ExitConfig, err)
+	}
+	if eng.Shards() != o.Shards {
+		return fail(supervisor.ExitConfig,
+			fmt.Errorf("cli: dataset partitions into %d shards, supervisor expects %d", eng.Shards(), o.Shards))
+	}
+
+	mcfg := core.MinerConfig{
+		K: o.K, MinLen: o.MinLen, MaxLen: o.MaxLen, MaxLowQ: o.MaxLowQ,
+		MaxIters: o.MaxIters, MaxWallTime: o.MaxWallTime,
+		CheckpointPath: o.CheckpointPath, CheckpointEvery: o.CheckpointEvery,
+		CheckpointFS: o.CheckpointFS, OnProgress: o.OnProgress,
+	}
+
+	ckPath := shard.CheckpointPath(o.CheckpointPath, o.Shard, o.Shards)
+	var resume *core.Checkpoint
+	if o.Resume {
+		ck, err := core.LoadCheckpoint(ckPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing saved yet: fresh start.
+		case err != nil:
+			// Torn or corrupt: the saved work is gone either way, so
+			// restart the shard rather than crash-loop on the bad file.
+			fmt.Fprintf(stderr, "shard-worker: checkpoint %s unreadable (%v); starting fresh\n", ckPath, err)
+		default:
+			resume = ck
+		}
+	}
+
+	res, err := eng.MineShard(ctx, o.Shard, mcfg, resume)
+	if err != nil {
+		var fpe *core.FingerprintMismatchError
+		if errors.As(err, &fpe) {
+			return fail(supervisor.ExitFingerprintMismatch, err)
+		}
+		var ce *core.ConfigError
+		if errors.As(err, &ce) {
+			return fail(supervisor.ExitConfig, err)
+		}
+		return fail(supervisor.ExitTransient, err)
+	}
+
+	st.Iterations = res.Stats.Iterations
+	st.Interrupted = res.Interrupted
+	st.Reason = res.InterruptReason
+	if res.Interrupted {
+		// The last iteration-boundary checkpoint is already on disk.
+		// FinalState here is mid-search state; persisting it would break
+		// byte-identical resume, so it is deliberately dropped.
+		return emit(supervisor.ExitInterrupted)
+	}
+	if res.FinalState == nil {
+		return fail(supervisor.ExitTransient, errors.New("cli: miner returned no final state"))
+	}
+	if err := core.SaveCheckpoint(o.CheckpointFS, ckPath, res.FinalState); err != nil {
+		return fail(supervisor.ExitTransient, fmt.Errorf("cli: save terminal checkpoint: %w", err))
+	}
+	return emit(supervisor.ExitOK)
+}
+
+// ShardWorkerMain is the process entry point behind `-shard-worker`:
+// hosts dispatch here with the arguments after the mode flag, the first
+// of which is the "i/n" slot. The remaining flags mirror the parent's
+// mining knobs. Returns the process exit code.
+func ShardWorkerMain(args []string) int {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "shard-worker: missing i/n slot argument")
+		return supervisor.ExitUsage
+	}
+	var o ShardWorkerOptions
+	if _, err := fmt.Sscanf(args[0], "%d/%d", &o.Shard, &o.Shards); err != nil {
+		fmt.Fprintf(os.Stderr, "shard-worker: bad slot %q (want i/n): %v\n", args[0], err)
+		return supervisor.ExitUsage
+	}
+	fs := flag.NewFlagSet("shard-worker", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.StringVar(&o.DataPath, "in", "", "input trajectory file")
+	fs.IntVar(&o.K, "k", 10, "number of patterns to mine")
+	fs.IntVar(&o.GridN, "gridn", 12, "grid side")
+	fs.IntVar(&o.MinLen, "minlen", 1, "minimum pattern length")
+	fs.IntVar(&o.MaxLen, "maxlen", 8, "maximum pattern length")
+	fs.IntVar(&o.MaxLowQ, "maxlowq", 0, "low 1-extension retention cap (0 = miner default)")
+	fs.Float64Var(&o.DeltaMul, "delta", 1, "δ as a multiple of the cell size")
+	fs.IntVar(&o.MaxIters, "maxiters", 0, "bound the grow iterations")
+	fs.DurationVar(&o.MaxWallTime, "maxwall", 0, "wall-clock budget")
+	fs.StringVar(&o.CheckpointPath, "checkpoint", "", "checkpoint path prefix")
+	fs.IntVar(&o.CheckpointEvery, "checkpoint-every", 1, "checkpoint cadence in iterations")
+	fs.BoolVar(&o.Resume, "resume", false, "restore the shard's checkpoint before mining")
+	if err := fs.Parse(args[1:]); err != nil {
+		return supervisor.ExitUsage
+	}
+	// First SIGTERM/SIGINT drains gracefully to an ExitInterrupted with
+	// progress checkpointed; a second aborts (SignalContext semantics).
+	ctx, stop := SignalContext(context.Background(), os.Stderr, "shard-worker")
+	defer stop()
+	return RunShardWorker(ctx, os.Stdout, os.Stderr, o)
+}

@@ -62,6 +62,25 @@ type Checkpoint struct {
 	Evaluated []SavedEntry `json:"evaluated"`
 }
 
+// FingerprintMismatchError reports a resume checkpoint taken for a
+// different mining problem (config, seeds, scoring, or dataset). It is
+// permanent: retrying the same run with the same checkpoint can never
+// succeed, so a supervisor must surface it instead of backing off.
+type FingerprintMismatchError struct {
+	// Checkpoint is the fingerprint stored in the checkpoint file.
+	Checkpoint string
+	// Run is the fingerprint of the run that refused it.
+	Run string
+}
+
+// Error implements error.
+func (e *FingerprintMismatchError) Error() string {
+	if e == nil {
+		return "core: checkpoint fingerprint mismatch"
+	}
+	return fmt.Sprintf("core: checkpoint fingerprint %s does not match this run's %s (different config, seeds, scoring, or dataset)", e.Checkpoint, e.Run)
+}
+
 // SavedEntry is one pattern/NM record of a Checkpoint. NM survives the
 // JSON round trip bit-for-bit (Go emits the shortest representation
 // that parses back to the same float64), and is always finite thanks to
@@ -142,6 +161,23 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return ck, nil
+}
+
+// Fingerprint returns the fingerprint Mine would stamp on checkpoints
+// of this configuration run against scorer s: defaults applied and the
+// seed set resolved exactly as the miner does. Callers use it to vet
+// externally produced checkpoints (shard worker files) before trusting
+// their state.
+func (c MinerConfig) Fingerprint(s *Scorer) (string, error) {
+	c = c.withDefaults()
+	seeds := c.Seeds
+	if seeds == nil {
+		seeds = s.ObservedCells(1)
+	}
+	if len(seeds) == 0 {
+		return "", fmt.Errorf("core: no seed cells")
+	}
+	return c.fingerprint(s, seeds), nil
 }
 
 // fingerprint hashes the parts of a run that define the mining problem:

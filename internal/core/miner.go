@@ -376,7 +376,7 @@ func Mine(ctx context.Context, s *Scorer, cfg MinerConfig) (*Result, error) {
 	resumeBaseNM := 0 // NM evaluations done before the resumed-from snapshot
 	if ck := cfg.Resume; ck != nil {
 		if ck.Fingerprint != fp {
-			return nil, fmt.Errorf("core: checkpoint fingerprint %s does not match this run's %s (different config, seeds, scoring, or dataset)", ck.Fingerprint, fp)
+			return nil, &FingerprintMismatchError{Checkpoint: ck.Fingerprint, Run: fp}
 		}
 		var err error
 		q, evaluated, prevHigh, prevAns, err = ck.restore()

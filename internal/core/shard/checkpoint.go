@@ -19,24 +19,39 @@ func CheckpointPath(prefix string, i, n int) string {
 	return fmt.Sprintf("%s.shard-%03d-of-%03d", prefix, i, n)
 }
 
+// SkippedCheckpoint reports one per-shard checkpoint file that was
+// present but unreadable — torn by a crash mid-write, truncated, or
+// corrupted on disk.
+type SkippedCheckpoint struct {
+	// Shard is the shard index whose checkpoint was skipped.
+	Shard int
+	// Path is the file that failed to load.
+	Path string
+	// Err is the load failure (CRC mismatch, bad trailer, ...).
+	Err error
+}
+
 // LoadCheckpoints reads the per-shard checkpoints under prefix for an
 // n-shard run. Missing files yield nil entries — those shards start
 // fresh — and found reports how many were present, so a caller can tell
 // "resuming 3 of 4 shards" from "starting fresh". A present-but-corrupt
-// checkpoint is an error: silently restarting a shard the caller thought
-// was resumable would burn its saved work without a word.
-func LoadCheckpoints(prefix string, n int) (cks []*core.Checkpoint, found int, err error) {
+// checkpoint (torn write, truncation, bit rot) also yields a nil entry,
+// but is additionally reported in skipped: one shard losing its saved
+// work must not void every other shard's, yet restarting it silently
+// would hide that the work was lost. Callers log each skip.
+func LoadCheckpoints(prefix string, n int) (cks []*core.Checkpoint, found int, skipped []SkippedCheckpoint) {
 	cks = make([]*core.Checkpoint, n)
 	for i := 0; i < n; i++ {
-		ck, err := core.LoadCheckpoint(CheckpointPath(prefix, i, n))
+		path := CheckpointPath(prefix, i, n)
+		ck, err := core.LoadCheckpoint(path)
 		if err != nil {
-			if errors.Is(err, os.ErrNotExist) {
-				continue
+			if !errors.Is(err, os.ErrNotExist) {
+				skipped = append(skipped, SkippedCheckpoint{Shard: i, Path: path, Err: err})
 			}
-			return nil, 0, fmt.Errorf("shard %d/%d: %w", i, n, err)
+			continue
 		}
 		cks[i] = ck
 		found++
 	}
-	return cks, found, nil
+	return cks, found, skipped
 }

@@ -1,0 +1,268 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"trajpattern/internal/core"
+	"trajpattern/internal/core/shard"
+	"trajpattern/internal/core/shard/supervisor"
+	"trajpattern/internal/retry"
+	"trajpattern/internal/testutil/leakcheck"
+)
+
+// fastBackoff keeps relaunch delays out of the test budget.
+func fastBackoff() *retry.Policy {
+	return &retry.Policy{Base: time.Millisecond, Max: 5 * time.Millisecond}
+}
+
+// TestRecoveryMatchesReference is the core recovery property: for every
+// injected failure mode that leaves the attempt budget unexhausted, the
+// supervised run's merged top-k is identical — same patterns, same
+// scores, same order — to the fault-free in-process run, and the run
+// reports no degradation.
+func TestRecoveryMatchesReference(t *testing.T) {
+	cases := []struct {
+		name     string
+		behavior string // fault armed on shard 1; "" = no fault
+		attempts int    // expected attempts on shard 1
+		stall    time.Duration
+	}{
+		{name: "clean", behavior: "", attempts: 1},
+		{name: "sigkill-mid-iteration", behavior: "kill@2", attempts: 2},
+		// The stall deadline must absorb worker startup (dataset read +
+		// scorer build, several hundred ms under -race) — the progress
+		// clock starts at launch, before the first checkpoint exists.
+		{name: "stalled-worker", behavior: "stall@1", attempts: 2, stall: 2 * time.Second},
+		{name: "torn-checkpoint", behavior: "tear@2", attempts: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer leakcheck.Check(t)()
+			f := newFixture(t, 3)
+			want := f.reference()
+
+			const target = 1
+			res, run, err := supervisor.Mine(t.Context(), f.eng, f.mcfg, supervisor.Config{
+				Command:     f.command(target, tc.behavior),
+				Procs:       2,
+				MaxAttempts: 3,
+				Stall:       tc.stall,
+				Grace:       time.Second,
+				Backoff:     fastBackoff(),
+			})
+			if err != nil {
+				t.Fatalf("supervised mine: %v", err)
+			}
+			if len(run.Failures) != 0 {
+				t.Fatalf("unexpected shard failures: %v", run.Failures)
+			}
+			if res.Interrupted {
+				t.Fatalf("run degraded: %s", res.InterruptReason)
+			}
+			if got := run.Outcomes[target].Attempts; got != tc.attempts {
+				t.Errorf("shard %d attempts = %d, want %d", target, got, tc.attempts)
+			}
+			for i, oc := range run.Outcomes {
+				if !oc.Completed {
+					t.Errorf("shard %d did not complete: %v", i, oc.Failure)
+				}
+			}
+			if !reflect.DeepEqual(res.Patterns, want) {
+				t.Errorf("recovered top-k diverged from reference:\n got %+v\nwant %+v", res.Patterns, want)
+			}
+		})
+	}
+}
+
+// TestCrashLoopDegradesToSurvivors exhausts one shard's attempt budget
+// (it crashes on every attempt) and asserts graceful degradation: no
+// error, no hang, the result flagged Interrupted with the shard's typed
+// ShardFailure, and the merged answer equal to what the surviving
+// shards' states (plus the victim's last good checkpoint) produce.
+func TestCrashLoopDegradesToSurvivors(t *testing.T) {
+	defer leakcheck.Check(t)()
+	f := newFixture(t, 3)
+
+	const target = 2
+	const budget = 2
+	res, run, err := supervisor.Mine(t.Context(), f.eng, f.mcfg, supervisor.Config{
+		Command:     f.command(target, "crashloop@1"),
+		MaxAttempts: budget,
+		Grace:       time.Second,
+		Backoff:     fastBackoff(),
+	})
+	if err != nil {
+		t.Fatalf("supervised mine: %v", err)
+	}
+	if !res.Interrupted {
+		t.Error("budget-exhausted run not flagged Interrupted")
+	}
+	if len(run.Failures) != 1 {
+		t.Fatalf("failures = %v, want exactly shard %d", run.Failures, target)
+	}
+	fail := run.Failures[0]
+	if fail.Shard != target || fail.Kind != supervisor.FailCrash {
+		t.Errorf("failure = %+v, want shard %d crash", fail, target)
+	}
+	if fail.Attempts != budget {
+		t.Errorf("attempts = %d, want the full budget %d", fail.Attempts, budget)
+	}
+	if fail.Permanent {
+		t.Error("crash-loop marked permanent; it exhausted the budget, retries could have helped")
+	}
+	if res.InterruptReason == "" {
+		t.Error("no interrupt reason on a degraded run")
+	}
+
+	// The degraded answer must equal the merge over exactly the states
+	// the run left behind: full states for the survivors, the victim's
+	// last checkpointed iteration (possibly nothing) for shard 2.
+	cks, _, skipped := shard.LoadCheckpoints(f.prefix, f.n)
+	if len(skipped) != 0 {
+		t.Fatalf("unexpected skipped checkpoints: %v", skipped)
+	}
+	for i := 0; i < f.n; i++ {
+		if i != target && cks[i] == nil {
+			t.Fatalf("surviving shard %d left no terminal checkpoint", i)
+		}
+	}
+	want, _, _, err := f.eng.MergeStates(t.Context(), f.mcfg, cks)
+	if err != nil {
+		t.Fatalf("reference merge: %v", err)
+	}
+	if !reflect.DeepEqual(res.Patterns, want) {
+		t.Errorf("degraded top-k diverged from survivors' merge:\n got %+v\nwant %+v", res.Patterns, want)
+	}
+}
+
+// TestFingerprintMismatchIsPermanent seeds one shard's checkpoint slot
+// with a valid checkpoint from a different problem (different K). The
+// worker must refuse it with the typed exit status, the supervisor must
+// not burn retries on it, and the stale state must not leak into the
+// merge — the answer degrades to the other shards' merge.
+func TestFingerprintMismatchIsPermanent(t *testing.T) {
+	defer leakcheck.Check(t)()
+	f := newFixture(t, 3)
+
+	const target = 1
+	// Plant shard 1's checkpoint from a K=7 run of the same dataset.
+	bad := f.mcfg
+	bad.K = 7
+	bad.CheckpointPath = ""
+	badRes, err := f.eng.MineShard(t.Context(), target, bad, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := shard.CheckpointPath(f.prefix, target, f.n)
+	if err := core.SaveCheckpoint(nil, ckPath, badRes.FinalState); err != nil {
+		t.Fatal(err)
+	}
+
+	res, run, err := supervisor.Mine(t.Context(), f.eng, f.mcfg, supervisor.Config{
+		Command:     f.command(target, ""),
+		MaxAttempts: 3,
+		Grace:       time.Second,
+		Backoff:     fastBackoff(),
+	})
+	if err != nil {
+		t.Fatalf("supervised mine: %v", err)
+	}
+	if len(run.Failures) != 1 {
+		t.Fatalf("failures = %v, want exactly shard %d", run.Failures, target)
+	}
+	fail := run.Failures[0]
+	if fail.Kind != supervisor.FailFingerprintMismatch {
+		t.Errorf("failure kind = %s, want %s", fail.Kind, supervisor.FailFingerprintMismatch)
+	}
+	if !fail.Permanent {
+		t.Error("fingerprint mismatch not marked permanent")
+	}
+	if fail.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (non-retryable)", fail.Attempts)
+	}
+	if !res.Interrupted {
+		t.Error("run with a refused shard not flagged Interrupted")
+	}
+
+	// The stale K=7 state must not merge: the answer is the other
+	// shards' merge with shard 1 contributing nothing.
+	cks, _, _ := shard.LoadCheckpoints(f.prefix, f.n)
+	cks[target] = nil
+	want, _, _, err := f.eng.MergeStates(t.Context(), f.mcfg, cks)
+	if err != nil {
+		t.Fatalf("reference merge: %v", err)
+	}
+	if !reflect.DeepEqual(res.Patterns, want) {
+		t.Errorf("merge ingested the refused checkpoint:\n got %+v\nwant %+v", res.Patterns, want)
+	}
+}
+
+// TestWallTimeoutKillsAndRetries drives the per-attempt hard cap: a
+// worker that stalls without a stall detector configured is killed at
+// the wall timeout, and the relaunch recovers to the reference answer.
+func TestWallTimeoutKillsAndRetries(t *testing.T) {
+	defer leakcheck.Check(t)()
+	f := newFixture(t, 3)
+	want := f.reference()
+
+	const target = 0
+	res, run, err := supervisor.Mine(t.Context(), f.eng, f.mcfg, supervisor.Config{
+		Command:     f.command(target, "stall@1"),
+		MaxAttempts: 3,
+		WallTimeout: 2 * time.Second,
+		Grace:       250 * time.Millisecond,
+		Backoff:     fastBackoff(),
+	})
+	if err != nil {
+		t.Fatalf("supervised mine: %v", err)
+	}
+	if len(run.Failures) != 0 {
+		t.Fatalf("unexpected shard failures: %v", run.Failures)
+	}
+	if got := run.Outcomes[target].Attempts; got != 2 {
+		t.Errorf("shard %d attempts = %d, want 2", target, got)
+	}
+	if !reflect.DeepEqual(res.Patterns, want) {
+		t.Errorf("recovered top-k diverged from reference:\n got %+v\nwant %+v", res.Patterns, want)
+	}
+}
+
+// TestCancellationIsPermanent cancels the supervising context while the
+// target worker hangs and asserts the run comes back promptly with a
+// typed cancelled failure rather than retrying into the void.
+func TestCancellationIsPermanent(t *testing.T) {
+	defer leakcheck.Check(t)()
+	f := newFixture(t, 3)
+
+	ctx, cancel := context.WithTimeout(t.Context(), time.Second)
+	defer cancel()
+	const target = 1
+	_, run, err := supervisor.Mine(ctx, f.eng, f.mcfg, supervisor.Config{
+		Command:     f.command(target, "stall@1"),
+		MaxAttempts: 5,
+		Grace:       250 * time.Millisecond,
+		Backoff:     fastBackoff(),
+	})
+	if err != nil {
+		t.Fatalf("supervised mine: %v", err)
+	}
+	var found *supervisor.ShardFailure
+	for _, fl := range run.Failures {
+		if fl.Shard == target {
+			found = fl
+		}
+	}
+	if found == nil {
+		t.Fatalf("no failure recorded for the hung shard; failures = %v", run.Failures)
+	}
+	if found.Kind != supervisor.FailCancelled || !found.Permanent {
+		t.Errorf("failure = %+v, want permanent %s", found, supervisor.FailCancelled)
+	}
+	if !errors.Is(found, context.DeadlineExceeded) {
+		t.Errorf("failure does not unwrap to the context cause: %v", found)
+	}
+}

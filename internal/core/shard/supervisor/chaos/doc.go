@@ -1,0 +1,12 @@
+// Package chaos is the fault-injection harness for the shard worker
+// supervisor. It holds no production code: the package's tests re-exec
+// the test binary itself as shard workers (TestMain diverts to the
+// worker entry point when CHAOS_WORKER=1) and inject one failure mode
+// per scenario — SIGKILL mid-iteration, a worker that stalls forever, a
+// torn checkpoint file (via faultio), a crash-looping shard, a resume
+// checkpoint from a different problem — then assert the supervisor's
+// recovery contract: a fault within the attempt budget yields a merged
+// top-k identical to the fault-free run, and an exhausted budget
+// degrades to the surviving shards' merge with a typed ShardFailure,
+// never an error or a hang.
+package chaos

@@ -1,0 +1,242 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+
+	"trajpattern/internal/cli"
+	"trajpattern/internal/core"
+	"trajpattern/internal/core/shard"
+	"trajpattern/internal/datagen"
+	"trajpattern/internal/faultio"
+	"trajpattern/internal/traj"
+)
+
+// TestMain doubles as the worker binary: the supervisor under test
+// launches this very test executable with CHAOS_WORKER=1, and the
+// process becomes a shard worker (with an injected fault) instead of a
+// test run. This keeps the harness self-contained — no helper binary to
+// build or ship.
+func TestMain(m *testing.M) {
+	if os.Getenv("CHAOS_WORKER") == "1" {
+		os.Exit(workerMain())
+	}
+	os.Exit(m.Run())
+}
+
+// Env keys of the worker protocol. The supervisor's Command hook sets
+// these instead of flags so the worker side never collides with the
+// test binary's own flag set.
+const (
+	envWorker   = "CHAOS_WORKER"
+	envSlot     = "CHAOS_SLOT" // "i/n"
+	envData     = "CHAOS_IN"
+	envPrefix   = "CHAOS_CKPT"
+	envK        = "CHAOS_K"
+	envGridN    = "CHAOS_GRIDN"
+	envMaxLen   = "CHAOS_MAXLEN"
+	envBehavior = "CHAOS_BEHAVIOR" // "", "kill@N", "stall@N", "tear@N", "crashloop@N"
+	envDir      = "CHAOS_DIR"      // marker directory: a fired fault disarms itself
+)
+
+// workerMain runs one shard to its checkpoint exactly like the real
+// `-shard-worker` mode, with the configured fault armed. Faults other
+// than crashloop fire once per shard (a marker file in CHAOS_DIR
+// disarms them), so the supervisor's relaunch gets a healthy worker.
+func workerMain() int {
+	var o cli.ShardWorkerOptions
+	if _, err := fmt.Sscanf(os.Getenv(envSlot), "%d/%d", &o.Shard, &o.Shards); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos worker: bad slot %q: %v\n", os.Getenv(envSlot), err)
+		return 2
+	}
+	o.DataPath = os.Getenv(envData)
+	o.CheckpointPath = os.Getenv(envPrefix)
+	o.K = envInt(envK)
+	o.GridN = envInt(envGridN)
+	o.MinLen = 1
+	o.MaxLen = envInt(envMaxLen)
+	o.DeltaMul = 1
+	o.CheckpointEvery = 1
+	o.Resume = true
+
+	behavior := os.Getenv(envBehavior)
+	if behavior != "" {
+		name, iter := parseBehavior(behavior)
+		marker := filepath.Join(os.Getenv(envDir), fmt.Sprintf("fired-%d", o.Shard))
+		fired := false
+		if _, err := os.Stat(marker); err == nil {
+			fired = true
+		}
+		mark := func() { os.WriteFile(marker, []byte(name), 0o644) } //nolint:errcheck // marker only
+		switch {
+		case fired && name != "crashloop":
+			// Fault already fired on an earlier attempt: behave cleanly.
+		case name == "kill", name == "crashloop":
+			o.OnProgress = func(p core.Progress) {
+				if p.Iteration >= iter {
+					mark()
+					syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck // about to die
+					select {}                                  // unreachable: waiting for the kill to land
+				}
+			}
+		case name == "stall":
+			o.OnProgress = func(p core.Progress) {
+				if p.Iteration >= iter {
+					mark()
+					select {} // hang mid-iteration: the checkpoint stops advancing
+				}
+			}
+		case name == "tear":
+			// Every checkpoint this attempt writes is torn mid-file, then
+			// the worker dies: the relaunch must tolerate the torn resume
+			// file and still converge.
+			fl := faultio.NewFaults()
+			fl.TearTargetBytes = 64
+			o.CheckpointFS = fl
+			o.OnProgress = func(p core.Progress) {
+				if p.Iteration >= iter {
+					mark()
+					syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck // about to die
+					select {}
+				}
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "chaos worker: unknown behavior %q\n", behavior)
+			return 2
+		}
+	}
+	return cli.RunShardWorker(context.Background(), os.Stdout, os.Stderr, o)
+}
+
+func envInt(key string) int {
+	v, err := strconv.Atoi(os.Getenv(key))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos worker: bad %s=%q: %v\n", key, os.Getenv(key), err)
+		os.Exit(2)
+	}
+	return v
+}
+
+// parseBehavior splits "kill@3" into ("kill", 3); a missing @ means
+// iteration 1.
+func parseBehavior(s string) (string, int) {
+	name, at, ok := strings.Cut(s, "@")
+	if !ok {
+		return name, 1
+	}
+	n, err := strconv.Atoi(at)
+	if err != nil || n < 1 {
+		n = 1
+	}
+	return name, n
+}
+
+// fixture is one chaos scenario's world: a seeded zebra dataset on
+// disk, the in-process engine over the identical dataset (read back
+// from that file so worker and reference share bit-identical inputs),
+// and the miner config both sides run.
+type fixture struct {
+	t      *testing.T
+	dir    string
+	data   string
+	prefix string
+	n      int
+	gridN  int
+	eng    *shard.Engine
+	mcfg   core.MinerConfig
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	ds, err := datagen.ZebraDataset(datagen.ZebraConfig{
+		NumZebras: 9, NumGroups: 3, AvgLen: 16, Seed: 11,
+	}, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := filepath.Join(dir, "zebra.jsonl")
+	if err := traj.WriteFile(data, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Read the dataset back: the reference engine must see exactly the
+	// floats the worker processes will parse, or the fingerprints drift.
+	ds, err = traj.ReadFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const gridN = 8
+	g := cli.FitGrid(ds, gridN)
+	s, err := core.NewScorer(ds, core.Config{Grid: g, Delta: g.CellWidth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := shard.NewEngine(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Shards() != n {
+		t.Fatalf("engine built %d shards, want %d", eng.Shards(), n)
+	}
+	prefix := filepath.Join(dir, "ck")
+	return &fixture{
+		t: t, dir: dir, data: data, prefix: prefix, n: n, gridN: gridN,
+		eng: eng,
+		mcfg: core.MinerConfig{
+			K: 4, MinLen: 1, MaxLen: 6,
+			CheckpointPath: prefix, CheckpointEvery: 1,
+		},
+	}
+}
+
+// command builds the supervisor's Command hook: shard target runs with
+// the given behavior armed, every other shard runs clean.
+func (f *fixture) command(target int, behavior string) func(int) *exec.Cmd {
+	f.t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return func(i int) *exec.Cmd {
+		b := ""
+		if i == target {
+			b = behavior
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			envWorker+"=1",
+			fmt.Sprintf("%s=%d/%d", envSlot, i, f.n),
+			envData+"="+f.data,
+			envPrefix+"="+f.prefix,
+			fmt.Sprintf("%s=%d", envK, f.mcfg.K),
+			fmt.Sprintf("%s=%d", envGridN, f.gridN),
+			fmt.Sprintf("%s=%d", envMaxLen, f.mcfg.MaxLen),
+			envBehavior+"="+b,
+			envDir+"="+f.dir,
+		)
+		return cmd
+	}
+}
+
+// reference mines the same problem fully in-process (no checkpoint
+// files, no workers) and returns the converged top-k.
+func (f *fixture) reference() []core.ScoredPattern {
+	f.t.Helper()
+	mcfg := f.mcfg
+	mcfg.CheckpointPath = ""
+	res, err := f.eng.Mine(f.t.Context(), mcfg, nil)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if res.Interrupted {
+		f.t.Fatalf("reference run interrupted: %s", res.InterruptReason)
+	}
+	return res.Patterns
+}

@@ -1,0 +1,107 @@
+package supervisor
+
+import (
+	"context"
+	"fmt"
+
+	"trajpattern/internal/core"
+	"trajpattern/internal/core/shard"
+)
+
+// Mine runs a supervised sharded mine end to end: every shard is
+// executed by a worker process under scfg's supervision, the per-shard
+// terminal checkpoints are read back, and the engine's min-max merge
+// assembles the global top-k. mcfg.CheckpointPath is mandatory — the
+// checkpoint files are the channel between the workers and the merge.
+//
+// Shard failures never surface as the error. A shard that exhausted its
+// attempt budget (or failed permanently) contributes its last good
+// checkpoint — possibly nothing — and the result comes back with
+// Interrupted set and the first failed shard's typed reason, exactly as
+// an in-process run degrades under cancellation. The RunResult carries
+// the full per-shard supervision record either way.
+func Mine(ctx context.Context, eng *shard.Engine, mcfg core.MinerConfig, scfg Config) (*shard.Result, *RunResult, error) {
+	if eng == nil {
+		return nil, nil, fmt.Errorf("supervisor: nil engine")
+	}
+	if mcfg.CheckpointPath == "" {
+		return nil, nil, fmt.Errorf("supervisor: supervised mining needs a checkpoint path prefix")
+	}
+	n := eng.Shards()
+	scfg.Shards = n
+	if scfg.CheckpointPrefix == "" {
+		scfg.CheckpointPrefix = mcfg.CheckpointPath
+	}
+
+	run, err := Run(ctx, scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	cks, _, skipped := shard.LoadCheckpoints(scfg.CheckpointPrefix, n)
+	// Vet every loaded checkpoint's fingerprint before trusting its
+	// state: a file a worker refused (or a leftover from a different
+	// problem) must degrade that shard to empty, never merge.
+	for i := 0; i < n; i++ {
+		if cks[i] == nil {
+			continue
+		}
+		fp, ferr := eng.ShardFingerprint(i, mcfg)
+		if ferr != nil {
+			return nil, run, ferr
+		}
+		if cks[i].Fingerprint != fp {
+			skipped = append(skipped, shard.SkippedCheckpoint{
+				Shard: i,
+				Path:  shard.CheckpointPath(scfg.CheckpointPrefix, i, n),
+				Err:   &core.FingerprintMismatchError{Checkpoint: cks[i].Fingerprint, Run: fp},
+			})
+			cks[i] = nil
+		}
+	}
+	states := make([]*core.Checkpoint, n)
+	res := &shard.Result{Shards: n, PerShard: make([]core.MinerStats, n)}
+	for i := 0; i < n; i++ {
+		states[i] = cks[i]
+		if cks[i] == nil {
+			continue
+		}
+		res.PerShard[i] = cks[i].Stats
+		res.Total.Iterations += cks[i].Stats.Iterations
+		res.Total.Candidates += cks[i].Stats.Candidates
+		res.Total.Pruned += cks[i].Stats.Pruned
+		res.Total.LowCapped += cks[i].Stats.LowCapped
+		res.Total.NMEvaluations += cks[i].Stats.NMEvaluations
+		if cks[i].Stats.MaxQ > res.Total.MaxQ {
+			res.Total.MaxQ = cks[i].Stats.MaxQ
+		}
+	}
+
+	if len(run.Failures) > 0 {
+		res.Interrupted = true
+		res.InterruptReason = run.Failures[0].Error()
+	}
+	// A checkpoint a failed worker left torn is that shard's loss, not
+	// the run's: the shard merges as empty, like a cancelled in-process
+	// shard that never seeded.
+	for _, sk := range skipped {
+		if !res.Interrupted {
+			res.Interrupted = true
+			res.InterruptReason = (&ShardFailure{
+				Shard: sk.Shard, Kind: FailCrash, Attempts: 0, Err: sk.Err,
+			}).Error()
+		}
+	}
+
+	patterns, mstats, mreason, err := eng.MergeStates(ctx, mcfg, states)
+	if err != nil {
+		return nil, run, err
+	}
+	res.Patterns = patterns
+	res.Merge = mstats
+	if mreason != "" && !res.Interrupted {
+		res.Interrupted = true
+		res.InterruptReason = mreason
+	}
+	return res, run, nil
+}

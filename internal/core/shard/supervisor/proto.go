@@ -1,0 +1,86 @@
+// Package supervisor executes the shards of a sharded mine as child
+// worker processes and keeps them alive until every shard has a
+// terminal checkpoint: a crashed worker is relaunched with capped
+// exponential backoff (internal/retry) and resumes from its shard's
+// last good checkpoint, a wedged worker is detected by its checkpoint
+// file's mtime standing still and killed, and a worker that exceeds the
+// hard wall timeout is killed likewise. Failures that retrying cannot
+// fix — a checkpoint fingerprint mismatch, a config rejection — stop
+// that shard's relaunch loop immediately. When a shard exhausts its
+// attempt budget the run degrades to a merged result over the shards
+// that survived, flagged Interrupted with a typed ShardFailure, exactly
+// mirroring the in-process engine's cancellation semantics (PR 4).
+//
+// The process boundary is this package's whole point: the paper's
+// min-max merge (PAPER.md §4) only needs each shard's NM memo to be
+// eventually complete, so a shard is a natural unit of supervised,
+// retryable work, and a panic or OOM in one worker can no longer take
+// the other shards' progress with it.
+package supervisor
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// Worker exit codes. A worker process mines exactly one shard and exits
+// with one of these; the supervisor classifies recovery by code, so the
+// codes are the protocol and must stay stable.
+const (
+	// ExitOK: the shard mined to completion and its terminal checkpoint
+	// is on disk.
+	ExitOK = 0
+	// ExitUsage: the worker flags were malformed. Permanent — the
+	// supervisor built the command line, so retrying reproduces it.
+	ExitUsage = 2
+	// ExitTransient: the shard failed in a way a relaunch may fix
+	// (I/O error, torn checkpoint it could not read, ...).
+	ExitTransient = 3
+	// ExitConfig: the dataset or mining configuration was rejected.
+	// Permanent — the same inputs fail the same way every time.
+	ExitConfig = 4
+	// ExitFingerprintMismatch: the shard's resume checkpoint was taken
+	// for a different problem (stale dataset, changed config).
+	// Permanent — backing off and retrying re-reads the same file.
+	ExitFingerprintMismatch = 5
+	// ExitInterrupted: the worker stopped early but gracefully (signal
+	// or its own wall bound) and checkpointed its progress. Transient —
+	// a relaunch resumes where it left off.
+	ExitInterrupted = 6
+)
+
+// WorkerStatus is the one JSON line a worker writes to stdout before
+// exiting, reporting what happened in-band so the supervisor does not
+// have to reverse-engineer it from the exit code alone.
+type WorkerStatus struct {
+	// Shard and Shards identify the slot the worker mined.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Iterations is the shard's cumulative grow-iteration count.
+	Iterations int `json:"iterations,omitempty"`
+	// Interrupted and Reason mirror core.Result on an early stop.
+	Interrupted bool   `json:"interrupted,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+	// Error carries the failure message on a non-zero exit.
+	Error string `json:"error,omitempty"`
+}
+
+// ParseWorkerStatus extracts the last status line from a worker's
+// stdout. Workers write exactly one line, but the parser scans from the
+// end and tolerates preceding noise (a panic dump, stray prints) — a
+// crashed worker's stdout is evidence, not a trusted document. Returns
+// nil when no line parses.
+func ParseWorkerStatus(stdout []byte) *WorkerStatus {
+	lines := strings.Split(string(stdout), "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		line := strings.TrimSpace(lines[i])
+		if line == "" || !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var st WorkerStatus
+		if err := json.Unmarshal([]byte(line), &st); err == nil {
+			return &st
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"os/exec"
+	"testing"
+
+	"trajpattern/internal/testutil/leakcheck"
+)
+
+func TestParseWorkerStatus(t *testing.T) {
+	defer leakcheck.Check(t)()
+	cases := []struct {
+		name   string
+		stdout string
+		want   *WorkerStatus
+	}{
+		{name: "empty", stdout: "", want: nil},
+		{name: "garbage", stdout: "panic: boom\ngoroutine 1 [running]:\n", want: nil},
+		{
+			name:   "single line",
+			stdout: `{"shard":2,"shards":4,"iterations":7}` + "\n",
+			want:   &WorkerStatus{Shard: 2, Shards: 4, Iterations: 7},
+		},
+		{
+			name:   "noise before the status",
+			stdout: "stray print\n{\"shard\":1,\"shards\":3,\"interrupted\":true,\"reason\":\"wall\"}\n",
+			want:   &WorkerStatus{Shard: 1, Shards: 3, Interrupted: true, Reason: "wall"},
+		},
+		{
+			name:   "last parseable line wins",
+			stdout: `{"shard":0,"shards":2}` + "\n" + `{"shard":1,"shards":2,"error":"x"}` + "\n",
+			want:   &WorkerStatus{Shard: 1, Shards: 2, Error: "x"},
+		},
+		{
+			name:   "torn trailing line ignored",
+			stdout: `{"shard":0,"shards":2}` + "\n" + `{"shard":1,"sha`,
+			want:   &WorkerStatus{Shard: 0, Shards: 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ParseWorkerStatus([]byte(tc.stdout))
+			switch {
+			case got == nil && tc.want == nil:
+			case got == nil || tc.want == nil || *got != *tc.want:
+				t.Errorf("ParseWorkerStatus = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// exitError fabricates a real *exec.ExitError with the given code by
+// running a shell that exits with it.
+func exitError(t *testing.T, code int) error {
+	t.Helper()
+	err := exec.Command("sh", "-c", fmt.Sprintf("exit %d", code)).Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != code {
+		t.Fatalf("could not fabricate exit code %d: %v", code, err)
+	}
+	return err
+}
+
+func TestClassifyExit(t *testing.T) {
+	defer leakcheck.Check(t)()
+	if got := classifyExit(nil, nil); got != nil {
+		t.Errorf("clean exit classified as failure: %+v", got)
+	}
+	cases := []struct {
+		code      int
+		kind      FailureKind
+		permanent bool
+	}{
+		{ExitUsage, FailConfig, true},
+		{ExitConfig, FailConfig, true},
+		{ExitFingerprintMismatch, FailFingerprintMismatch, true},
+		{ExitTransient, FailCrash, false},
+		{ExitInterrupted, FailCrash, false},
+		{1, FailCrash, false},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("exit-%d", tc.code), func(t *testing.T) {
+			fail := classifyExit(exitError(t, tc.code), &WorkerStatus{Error: "detail"})
+			if fail == nil {
+				t.Fatal("non-zero exit classified as success")
+			}
+			if fail.Kind != tc.kind || fail.Permanent != tc.permanent {
+				t.Errorf("classifyExit(%d) = kind %s permanent %t, want %s/%t",
+					tc.code, fail.Kind, fail.Permanent, tc.kind, tc.permanent)
+			}
+		})
+	}
+}

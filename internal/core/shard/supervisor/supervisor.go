@@ -1,0 +1,459 @@
+package supervisor
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+
+	"trajpattern/internal/core/shard"
+	"trajpattern/internal/obs"
+	"trajpattern/internal/retry"
+	"trajpattern/internal/trace"
+)
+
+// Supervision defaults.
+const (
+	// DefaultMaxAttempts is the per-shard attempt budget (first launch
+	// plus relaunches).
+	DefaultMaxAttempts = 3
+	// DefaultGrace is how long a signalled worker gets to checkpoint and
+	// exit before SIGKILL.
+	DefaultGrace = 3 * time.Second
+)
+
+// FailureKind names the way a shard's supervision ended.
+type FailureKind string
+
+const (
+	// FailCrash: the worker exited non-zero or died on a signal.
+	FailCrash FailureKind = "crash"
+	// FailStall: the worker was killed because its checkpoint file made
+	// no progress within the stall deadline.
+	FailStall FailureKind = "stall"
+	// FailWallTimeout: the worker was killed at the hard wall timeout.
+	FailWallTimeout FailureKind = "wall-timeout"
+	// FailFingerprintMismatch: the worker refused its resume checkpoint
+	// as belonging to a different problem. Permanent.
+	FailFingerprintMismatch FailureKind = "fingerprint-mismatch"
+	// FailConfig: the worker rejected its configuration or usage.
+	// Permanent.
+	FailConfig FailureKind = "config"
+	// FailSpawn: the worker process could not be started at all.
+	FailSpawn FailureKind = "spawn"
+	// FailCancelled: the supervisor's own context ended.
+	FailCancelled FailureKind = "cancelled"
+)
+
+// ShardFailure is the typed reason a shard gave up: which shard, what
+// killed it, how many attempts were burned, and whether retrying could
+// ever have helped.
+type ShardFailure struct {
+	Shard    int
+	Kind     FailureKind
+	Attempts int
+	// Permanent reports that the relaunch loop stopped because retrying
+	// cannot succeed (fingerprint mismatch, config rejection,
+	// cancellation) rather than because the budget ran out.
+	Permanent bool
+	Err       error
+}
+
+// Error implements error.
+func (f *ShardFailure) Error() string {
+	if f == nil {
+		return "supervisor: shard failure"
+	}
+	return fmt.Sprintf("shard %d: %s after %d attempt(s): %v", f.Shard, f.Kind, f.Attempts, f.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (f *ShardFailure) Unwrap() error {
+	if f == nil {
+		return nil
+	}
+	return f.Err
+}
+
+// ShardOutcome is one shard's supervision record.
+type ShardOutcome struct {
+	Shard    int
+	Attempts int
+	// Completed reports the shard reached its terminal checkpoint.
+	Completed bool
+	// Status is the worker's final in-band report, when one parsed.
+	Status *WorkerStatus
+	// Failure is set iff Completed is false.
+	Failure *ShardFailure
+}
+
+// RunResult is the whole run's supervision record.
+type RunResult struct {
+	// Outcomes is indexed by shard.
+	Outcomes []ShardOutcome
+	// Failures lists the failed shards' reasons in shard order; empty
+	// means every shard completed.
+	Failures []*ShardFailure
+}
+
+// Config shapes one supervised run.
+type Config struct {
+	// Shards is the shard count; Command is invoked for each index in
+	// [0, Shards).
+	Shards int
+	// CheckpointPrefix is the per-shard checkpoint path prefix the
+	// workers write under (shard.CheckpointPath names the files). The
+	// stall detector watches these files.
+	CheckpointPrefix string
+	// Command builds the worker command for one shard. The supervisor
+	// owns Stdout (the status line) and Stderr (forwarded to Log) unless
+	// the command already set them.
+	Command func(shard int) *exec.Cmd
+	// Procs caps concurrently running workers. <=0 or >Shards means one
+	// worker per shard.
+	Procs int
+	// MaxAttempts is the per-shard attempt budget (first launch plus
+	// relaunches). <=0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// Stall is the progress deadline: a worker whose checkpoint file
+	// mtime does not advance for this long is killed and the attempt
+	// counted as a stall. 0 disables hang detection.
+	Stall time.Duration
+	// StallPoll is the mtime polling cadence; <=0 derives Stall/4
+	// clamped to [25ms, 1s].
+	StallPoll time.Duration
+	// WallTimeout is the per-attempt hard cap; a worker still running
+	// after this long is killed. 0 disables it.
+	WallTimeout time.Duration
+	// Grace is the SIGTERM-to-SIGKILL window. <=0 means DefaultGrace.
+	Grace time.Duration
+	// Backoff schedules the relaunch delays. Nil uses retry defaults
+	// (50ms base doubling to a 2s cap, no jitter).
+	Backoff *retry.Policy
+	// Metrics, when non-nil, receives shard.attempts / shard.restarts /
+	// shard.stalls counters and the shard.restart_latency histogram.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records supervise.run / supervise.shard
+	// spans.
+	Tracer *trace.Tracer
+	// Log receives worker stderr and supervision notes. Nil discards.
+	Log io.Writer
+}
+
+// sup is the resolved runtime state of one Run call.
+type sup struct {
+	cfg            Config
+	maxAttempts    int
+	stallPoll      time.Duration
+	grace          time.Duration
+	log            io.Writer
+	tl             *trace.Local
+	attempts       *obs.Counter
+	restarts       *obs.Counter
+	stalls         *obs.Counter
+	restartLatency *obs.Histogram
+	logMu          sync.Mutex
+}
+
+// Run supervises every shard to its terminal checkpoint or its attempt
+// budget. Shard failures are reported in the result, never as the error
+// — graceful degradation is the caller's to apply; the error covers
+// only misconfiguration of the supervision itself.
+func Run(ctx context.Context, cfg Config) (*RunResult, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("supervisor: shard count %d", cfg.Shards)
+	}
+	if cfg.Command == nil {
+		return nil, fmt.Errorf("supervisor: nil Command")
+	}
+	if cfg.Stall > 0 && cfg.CheckpointPrefix == "" {
+		return nil, fmt.Errorf("supervisor: stall detection needs a checkpoint prefix to watch")
+	}
+	s := &sup{
+		cfg:            cfg,
+		maxAttempts:    cfg.MaxAttempts,
+		stallPoll:      cfg.StallPoll,
+		grace:          cfg.Grace,
+		log:            cfg.Log,
+		tl:             cfg.Tracer.Local(),
+		attempts:       cfg.Metrics.Counter("shard.attempts"),
+		restarts:       cfg.Metrics.Counter("shard.restarts"),
+		stalls:         cfg.Metrics.Counter("shard.stalls"),
+		restartLatency: cfg.Metrics.Histogram("shard.restart_latency"),
+	}
+	if s.maxAttempts <= 0 {
+		s.maxAttempts = DefaultMaxAttempts
+	}
+	if s.stallPoll <= 0 {
+		s.stallPoll = cfg.Stall / 4
+		if s.stallPoll < 25*time.Millisecond {
+			s.stallPoll = 25 * time.Millisecond
+		}
+		if s.stallPoll > time.Second {
+			s.stallPoll = time.Second
+		}
+	}
+	if s.grace <= 0 {
+		s.grace = DefaultGrace
+	}
+	if s.log == nil {
+		s.log = io.Discard
+	}
+
+	procs := cfg.Procs
+	if procs <= 0 || procs > cfg.Shards {
+		procs = cfg.Shards
+	}
+	var runSpan *trace.Span
+	if s.tl != nil {
+		runSpan = s.tl.Span("supervise.run", trace.Attrs{
+			"shards": cfg.Shards, "procs": procs, "max_attempts": s.maxAttempts,
+		})
+	}
+	defer runSpan.End()
+
+	sem := make(chan struct{}, procs)
+	outcomes := make([]ShardOutcome, cfg.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outcomes[i] = s.runShard(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+
+	res := &RunResult{Outcomes: outcomes}
+	for i := range outcomes {
+		if f := outcomes[i].Failure; f != nil {
+			res.Failures = append(res.Failures, f)
+		}
+	}
+	runSpan.Attr("failures", len(res.Failures))
+	return res, nil
+}
+
+// runShard drives one shard's launch/relaunch loop to completion,
+// permanent failure, or budget exhaustion.
+func (s *sup) runShard(ctx context.Context, i int) ShardOutcome {
+	out := ShardOutcome{Shard: i}
+	var sp *trace.Span
+	if s.tl != nil {
+		sp = s.tl.Span("supervise.shard", trace.Attrs{"shard": i})
+	}
+	defer sp.End()
+	for attempt := 1; ; attempt++ {
+		out.Attempts = attempt
+		s.attempts.Inc()
+		st, fail := s.attempt(ctx, i)
+		if st != nil {
+			out.Status = st
+		}
+		if fail == nil {
+			out.Completed = true
+			sp.Attr("attempts", attempt)
+			return out
+		}
+		fail.Shard = i
+		fail.Attempts = attempt
+		if fail.Kind == FailStall {
+			s.stalls.Inc()
+		}
+		s.logf("shard %d attempt %d/%d failed (%s): %v", i, attempt, s.maxAttempts, fail.Kind, fail.Err)
+		if fail.Permanent || attempt >= s.maxAttempts {
+			out.Failure = fail
+			sp.Attr("attempts", attempt).Attr("failed", string(fail.Kind))
+			return out
+		}
+		down := time.Now() //trajlint:allow determinism -- restart-latency telemetry only
+		if err := s.cfg.Backoff.Wait(ctx, attempt, 0); err != nil {
+			out.Failure = &ShardFailure{
+				Shard: i, Kind: FailCancelled, Attempts: attempt, Permanent: true, Err: err,
+			}
+			sp.Attr("attempts", attempt).Attr("failed", string(FailCancelled))
+			return out
+		}
+		s.restarts.Inc()
+		s.restartLatency.ObserveDuration(time.Since(down)) //trajlint:allow determinism -- restart-latency telemetry only
+		s.logf("shard %d relaunching (attempt %d/%d)", i, attempt+1, s.maxAttempts)
+	}
+}
+
+// attempt launches one worker process for shard i and watches it to an
+// exit, a stall, the wall timeout, or cancellation. A nil failure means
+// the shard completed.
+func (s *sup) attempt(ctx context.Context, i int) (*WorkerStatus, *ShardFailure) {
+	cmd := s.cfg.Command(i)
+	if cmd == nil {
+		return nil, &ShardFailure{Kind: FailSpawn, Permanent: true,
+			Err: errors.New("supervisor: Command built no command")}
+	}
+	var buf bytes.Buffer
+	if cmd.Stdout == nil {
+		cmd.Stdout = &buf
+	}
+	if cmd.Stderr == nil {
+		// Serialized on the supervisor's log mutex: concurrent workers
+		// share one writer.
+		cmd.Stderr = &lockedWriter{mu: &s.logMu, w: s.log}
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, &ShardFailure{Kind: FailSpawn,
+			Err: fmt.Errorf("supervisor: start worker: %w", err)}
+	}
+	// Buffered so the waiter's send always completes; every return path
+	// below receives exactly once (directly or through terminate), so
+	// the goroutine and the child are both reaped.
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+
+	var stallC <-chan time.Time
+	if s.cfg.Stall > 0 {
+		ticker := time.NewTicker(s.stallPoll)
+		defer ticker.Stop()
+		stallC = ticker.C
+	}
+	var wallC <-chan time.Time
+	if s.cfg.WallTimeout > 0 {
+		wall := time.NewTimer(s.cfg.WallTimeout)
+		defer wall.Stop()
+		wallC = wall.C
+	}
+	ckPath := shard.CheckpointPath(s.cfg.CheckpointPrefix, i, s.cfg.Shards)
+	lastMtime := mtimeOf(ckPath)
+	lastProgress := time.Now() //trajlint:allow determinism -- stall detection is wall-clock by nature
+
+	status := func() *WorkerStatus { return ParseWorkerStatus(buf.Bytes()) }
+	for {
+		select {
+		case werr := <-waitCh:
+			return status(), classifyExit(werr, status())
+		case <-stallC:
+			if mt := mtimeOf(ckPath); mt.After(lastMtime) {
+				lastMtime = mt
+				lastProgress = time.Now() //trajlint:allow determinism -- stall detection is wall-clock by nature
+				continue
+			}
+			if time.Since(lastProgress) <= s.cfg.Stall { //trajlint:allow determinism -- stall detection is wall-clock by nature
+				continue
+			}
+			werr, natural := s.terminate(cmd, waitCh)
+			if natural {
+				return status(), classifyExit(werr, status())
+			}
+			return status(), &ShardFailure{Kind: FailStall,
+				Err: fmt.Errorf("supervisor: no checkpoint progress on %s for %v; worker killed (exit: %v)",
+					ckPath, s.cfg.Stall, werr)}
+		case <-wallC:
+			werr, natural := s.terminate(cmd, waitCh)
+			if natural {
+				return status(), classifyExit(werr, status())
+			}
+			return status(), &ShardFailure{Kind: FailWallTimeout,
+				Err: fmt.Errorf("supervisor: worker exceeded wall timeout %v; killed (exit: %v)",
+					s.cfg.WallTimeout, werr)}
+		case <-ctx.Done():
+			s.terminate(cmd, waitCh)
+			return status(), &ShardFailure{Kind: FailCancelled, Permanent: true,
+				Err: context.Cause(ctx)}
+		}
+	}
+}
+
+// terminate stops a worker: SIGTERM (letting it checkpoint and exit
+// with ExitInterrupted), then SIGKILL after the grace window. It always
+// reaps the wait result. natural reports that the worker had already
+// exited on its own before any signal landed — the detector fired on
+// the exact completion instant and the exit should be classified, not
+// recorded as a kill.
+func (s *sup) terminate(cmd *exec.Cmd, waitCh <-chan error) (werr error, natural bool) {
+	select {
+	case werr = <-waitCh:
+		return werr, true
+	default:
+	}
+	if cmd.Process != nil {
+		cmd.Process.Signal(syscall.SIGTERM)
+	}
+	grace := time.NewTimer(s.grace)
+	defer grace.Stop()
+	select {
+	case werr = <-waitCh:
+		return werr, false
+	case <-grace.C:
+	}
+	if cmd.Process != nil {
+		cmd.Process.Kill()
+	}
+	return <-waitCh, false
+}
+
+// classifyExit maps a worker's exit to a failure, or nil for success.
+// Exit codes are the protocol (proto.go); anything not recognizably
+// permanent is worth a relaunch.
+func classifyExit(werr error, st *WorkerStatus) *ShardFailure {
+	if werr == nil {
+		return nil
+	}
+	detail := ""
+	if st != nil && st.Error != "" {
+		detail = ": " + st.Error
+	}
+	var ee *exec.ExitError
+	if errors.As(werr, &ee) {
+		switch ee.ExitCode() {
+		case ExitUsage, ExitConfig:
+			return &ShardFailure{Kind: FailConfig, Permanent: true,
+				Err: fmt.Errorf("supervisor: worker rejected configuration (%v)%s", werr, detail)}
+		case ExitFingerprintMismatch:
+			return &ShardFailure{Kind: FailFingerprintMismatch, Permanent: true,
+				Err: fmt.Errorf("supervisor: worker refused its resume checkpoint (%v)%s", werr, detail)}
+		}
+	}
+	return &ShardFailure{Kind: FailCrash,
+		Err: fmt.Errorf("supervisor: worker crashed (%v)%s", werr, detail)}
+}
+
+// mtimeOf returns a file's modification time, or the zero time when it
+// cannot be statted (not yet written).
+func mtimeOf(path string) time.Time {
+	if path == "" {
+		return time.Time{}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return time.Time{}
+	}
+	return fi.ModTime()
+}
+
+// logf writes one supervision note. Serialized: shard loops run
+// concurrently and share the writer.
+func (s *sup) logf(format string, args ...any) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.log, "supervisor: "+format+"\n", args...)
+}
+
+// lockedWriter serializes writes from concurrent workers' stderr pipes
+// onto one underlying writer.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+// Write implements io.Writer.
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

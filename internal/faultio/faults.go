@@ -3,6 +3,7 @@ package faultio
 import (
 	"errors"
 	"io"
+	"os"
 )
 
 // ErrInjected is the sentinel wrapped by every fault this package
@@ -21,6 +22,12 @@ var ErrInjected = errors.New("faultio: injected fault")
 //   - FailRename: the final rename fails (crash between close and
 //     rename). TornRename additionally deletes the temp file first,
 //     simulating a crash where the temp never became durable either.
+//   - TearTargetBytes: the rename "succeeds" but installs only the
+//     first N bytes at the target — the on-disk outcome of power loss
+//     on a filesystem that reordered the rename ahead of the data
+//     blocks. The writer believes the file landed; only a later reader
+//     discovers the truncation. This is the knob for testing torn-file
+//     *readers* rather than writers.
 //
 // Counters record how far the protocol got, so tests can assert both
 // the failure and the cleanup.
@@ -30,6 +37,7 @@ type Faults struct {
 	FailSync        bool
 	FailRename      bool
 	TornRename      bool
+	TearTargetBytes int // >0: rename installs only this many bytes at the target
 
 	Creates int // temp files created
 	Renames int // renames attempted
@@ -63,12 +71,25 @@ func (fl *Faults) Rename(oldpath, newpath string) error {
 	if fl.TornRename {
 		// A crash mid-rename: the temp file is gone and the target was
 		// never replaced.
-		os := OS{}
-		os.Remove(oldpath)
+		OS{}.Remove(oldpath)
 		return errors.Join(ErrInjected, errors.New("rename torn"))
 	}
 	if fl.FailRename {
 		return errors.Join(ErrInjected, errors.New("rename refused"))
+	}
+	if fl.TearTargetBytes > 0 {
+		data, err := os.ReadFile(oldpath)
+		if err != nil {
+			return err
+		}
+		if len(data) > fl.TearTargetBytes {
+			data = data[:fl.TearTargetBytes]
+		}
+		if err := os.WriteFile(newpath, data, 0o644); err != nil {
+			return err
+		}
+		OS{}.Remove(oldpath)
+		return nil
 	}
 	return OS{}.Rename(oldpath, newpath)
 }

@@ -8,18 +8,21 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
+	"trajpattern/internal/retry"
 	"trajpattern/internal/stat"
 )
 
-// Client default knobs.
+// Client default knobs. They alias the retry package's defaults — the
+// backoff implementation was extracted there (the shard supervisor
+// relaunches crashed workers on the same schedule) and these names stay
+// for compatibility.
 const (
-	DefaultMaxAttempts = 4
-	DefaultBaseBackoff = 50 * time.Millisecond
-	DefaultMaxBackoff  = 2 * time.Second
+	DefaultMaxAttempts = retry.DefaultMaxAttempts
+	DefaultBaseBackoff = retry.DefaultBase
+	DefaultMaxBackoff  = retry.DefaultMax
 )
 
 // APIError is a non-retryable HTTP failure decoded from the server's
@@ -124,10 +127,7 @@ func (c *Client) do(ctx context.Context, route string, reqBody, out any) error {
 	if err != nil {
 		return fmt.Errorf("serve: encode request: %w", err)
 	}
-	attempts := c.MaxAttempts
-	if attempts <= 0 {
-		attempts = DefaultMaxAttempts
-	}
+	attempts := (&retry.Policy{MaxAttempts: c.MaxAttempts}).Attempts()
 	var last error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -215,21 +215,14 @@ func (c *Client) once(ctx context.Context, route string, payload []byte, out any
 
 // wait sleeps the backoff for the given (1-based) retry attempt: capped
 // exponential with jitter, raised to the server's Retry-After hint when
-// that is longer.
+// that is longer. The schedule math lives in internal/retry; the policy
+// is rebuilt from the client's knobs on every call (they may be edited
+// between calls, as tests do) and the jitter draw happens under c.mu so
+// concurrent calls sharing one RNG stay serialized.
 func (c *Client) wait(ctx context.Context, attempt int, last error) error {
-	base := c.BaseBackoff
-	if base <= 0 {
-		base = DefaultBaseBackoff
-	}
-	maxB := c.MaxBackoff
-	if maxB <= 0 {
-		maxB = DefaultMaxBackoff
-	}
-	d := base << (attempt - 1)
-	if d > maxB || d <= 0 {
-		d = maxB
-	}
-	d = c.jitter(d)
+	c.mu.Lock()
+	d := (&retry.Policy{Base: c.BaseBackoff, Max: c.MaxBackoff, RNG: c.RNG}).Delay(attempt)
+	c.mu.Unlock()
 	var ra *retryAfterError
 	if errors.As(last, &ra) && ra.after > d {
 		d = ra.after
@@ -247,17 +240,6 @@ func (c *Client) wait(ctx context.Context, attempt int, last error) error {
 	}
 }
 
-// jitter scales d by a uniform factor in [0.5, 1.5) drawn from the
-// deterministic RNG; without an RNG, d is returned unchanged.
-func (c *Client) jitter(d time.Duration) time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.RNG == nil {
-		return d
-	}
-	return time.Duration(float64(d) * c.RNG.Uniform(0.5, 1.5))
-}
-
 // decodeAPIError turns an error response into an *APIError, tolerating
 // bodies that are not the JSON envelope (a torn error body still yields
 // a usable status).
@@ -269,16 +251,9 @@ func decodeAPIError(status int, body []byte) *APIError {
 	return &APIError{Status: status, Code: "http_error", Message: http.StatusText(status)}
 }
 
-// parseRetryAfter reads the delay-seconds form of Retry-After (the only
-// form trajserve emits). Absent or unparsable means no hint.
+// parseRetryAfter reads the Retry-After hint in either RFC 9110 form —
+// delay-seconds (what trajserve emits) or HTTP-date. Absent or
+// unparsable means no hint.
 func parseRetryAfter(resp *http.Response) time.Duration {
-	v := resp.Header.Get("Retry-After")
-	if v == "" {
-		return 0
-	}
-	secs, err := strconv.ParseInt(v, 10, 64)
-	if err != nil || secs < 0 {
-		return 0
-	}
-	return time.Duration(secs) * time.Second
+	return retry.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 }

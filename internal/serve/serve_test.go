@@ -387,6 +387,43 @@ func TestClientRetriesOn429ThenSucceeds(t *testing.T) {
 	}
 }
 
+func TestClientHonoursHTTPDateRetryAfter(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls < 2 {
+			// HTTP-date form: ~30s in the future, which must dominate
+			// the default 50ms backoff.
+			w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":{"code":"overloaded","message":"busy"}}`)
+			return
+		}
+		io.WriteString(w, `{"scores":[{"cells":[1],"nm":0.5}]}`)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL: ts.URL,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	if _, err := c.Score(context.Background(), ScoreRequest{Patterns: [][]int{{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(slept))
+	}
+	// The clock ticked between header construction and parsing, so allow
+	// slack below the nominal 30s.
+	if slept[0] < 25*time.Second || slept[0] > 30*time.Second {
+		t.Errorf("sleep = %v, want ~30s (HTTP-date Retry-After honoured)", slept[0])
+	}
+}
+
 func TestClientDoesNotRetryAnswers(t *testing.T) {
 	for _, status := range []int{http.StatusBadRequest, http.StatusConflict, http.StatusInternalServerError} {
 		var calls int

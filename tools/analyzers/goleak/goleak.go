@@ -65,7 +65,8 @@ var pkgs string
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs",
-		"trajpattern/internal/core/shard,trajpattern/internal/serve,trajpattern/internal/serve/guard,"+
+		"trajpattern/internal/core/shard,trajpattern/internal/core/shard/supervisor,trajpattern/internal/core/shard/supervisor/chaos,trajpattern/internal/retry,"+
+			"trajpattern/internal/serve,trajpattern/internal/serve/guard,"+
 			"trajpattern/internal/serve/chaos,trajpattern/internal/cli,trajpattern/internal/trace,"+
 			"trajpattern/internal/obs,trajpattern/internal/obs/slogx",
 		"comma-separated package paths (or /-suffixes) whose goroutines must be joined")
