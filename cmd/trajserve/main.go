@@ -13,10 +13,18 @@
 //	trajserve -in zebra.jsonl -mine-shards 4 -mine-procs 4
 //	trajserve -in zebra.jsonl -trace run.trace -debug-addr localhost:6060
 //	trajserve -in zebra.jsonl -log-format json -log-level info
+//	trajserve -in zebra.jsonl -ingest-wal /var/lib/trajserve/wal -ingest-window 256
 //
-// Routes: POST /v1/score, /v1/mine, /v1/predict; GET /healthz, /readyz,
-// /metrics (Prometheus text exposition; ?format=json for the stamped
-// report).
+// Routes: POST /v1/score, /v1/mine, /v1/predict, /v1/ingest (with
+// -ingest-wal); GET /healthz, /readyz, /metrics (Prometheus text
+// exposition; ?format=json for the stamped report), /v1/ingest/status.
+//
+// With -ingest-wal, POST /v1/ingest accepts location reports durably: a
+// 200 means the report is fsynced into a crash-replayable write-ahead
+// log. A restarted process replays the log and rebuilds its sliding
+// windows before /readyz flips ready, and a background loop re-mines the
+// windowed data continuously — /v1/mine and /v1/predict serve the latest
+// complete generation.
 package main
 
 import (
@@ -51,6 +59,9 @@ func main() {
 		shards   = flag.Int("mine-shards", 1, "partition /v1/mine across this many dataset shards with a merged top-k (1 = single-partition, -1 = one per CPU)")
 		procs    = flag.Int("mine-procs", 0, "run /v1/mine shards as supervised worker processes, this many at a time (0 = in-process goroutines; needs -mine-shards > 1)")
 		deadline = flag.Duration("deadline", serve.DefaultDeadline, "per-request deadline (queue wait included)")
+		ingWAL   = flag.String("ingest-wal", "", "enable durable streaming ingest (POST /v1/ingest) with the write-ahead log in this directory")
+		ingWin   = flag.Int("ingest-window", 0, "per-object sliding-window record cap for ingest (0 = default)")
+		ingFsync = flag.Int("ingest-fsync-every", 0, "max reports per ingest WAL group commit (0 = default)")
 		maxWall  = flag.Duration("mine-maxwall", 0, "cap on a mine request's wall-clock budget (0 = 80% of -deadline)")
 		grace    = flag.Duration("grace", serve.DefaultGrace, "drain grace for in-flight requests on SIGTERM")
 		trcPath  = flag.String("trace", "", "record request/miner spans and write the journal here at exit")
@@ -80,17 +91,21 @@ func main() {
 		DataPath:     *in,
 		PatternsPath: *patterns,
 		Server: serve.Config{
-			GridN:           *gridN,
-			DeltaMul:        *deltaMul,
-			Capacity:        *capacity,
-			MaxQueue:        *queue,
-			MineWeight:      *mineWt,
-			MineShards:      *shards,
-			MineProcs:       *procs,
-			ScoreDeadline:   *deadline,
-			MineDeadline:    *deadline,
-			PredictDeadline: *deadline,
-			MaxMineWallTime: *maxWall,
+			GridN:            *gridN,
+			DeltaMul:         *deltaMul,
+			Capacity:         *capacity,
+			MaxQueue:         *queue,
+			MineWeight:       *mineWt,
+			MineShards:       *shards,
+			MineProcs:        *procs,
+			ScoreDeadline:    *deadline,
+			MineDeadline:     *deadline,
+			PredictDeadline:  *deadline,
+			MaxMineWallTime:  *maxWall,
+			IngestWALDir:     *ingWAL,
+			IngestWindow:     *ingWin,
+			IngestFsyncEvery: *ingFsync,
+			IngestDeadline:   *deadline,
 		},
 		Grace:      *grace,
 		TracePath:  *trcPath,

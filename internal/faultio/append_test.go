@@ -1,0 +1,180 @@
+package faultio
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSAppendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.seg")
+	for _, chunk := range []string{"one", "two", "three"} {
+		f, err := (OS{}).OpenAppend(path)
+		if err != nil {
+			t.Fatalf("open append: %v", err)
+		}
+		if _, err := io.WriteString(f, chunk); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	if got := readFile(t, path); got != "onetwothree" {
+		t.Fatalf("appended content = %q, want onetwothree", got)
+	}
+	if err := (OS{}).Truncate(path, 3); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if got := readFile(t, path); got != "one" {
+		t.Fatalf("truncated content = %q, want one", got)
+	}
+}
+
+func TestFaultsShortAppendLeavesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.seg")
+	fl := NewFaults()
+	fl.ShortAppendAfter = 5
+	f, err := fl.OpenAppend(path)
+	if err != nil {
+		t.Fatalf("open append: %v", err)
+	}
+	n, err := io.WriteString(f, "0123456789")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short append error = %v, want ErrInjected+ErrShortWrite", err)
+	}
+	if n != 5 {
+		t.Fatalf("short append wrote %d bytes, want 5", n)
+	}
+	f.Close()
+	// The torn tail is ON DISK — that is the whole point of the knob.
+	if got := readFile(t, path); got != "01234" {
+		t.Fatalf("torn file = %q, want the 5 partial bytes", got)
+	}
+	// Every subsequent append fails outright: the budget is spent.
+	f2, err := fl.OpenAppend(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := io.WriteString(f2, "x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append past budget = %v, want ErrInjected", err)
+	}
+	f2.Close()
+	if fl.OpensAppend != 2 {
+		t.Fatalf("OpensAppend = %d, want 2", fl.OpensAppend)
+	}
+}
+
+func TestFaultsFailAppendSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.seg")
+	fl := NewFaults()
+	fl.FailAppendSync = true
+	f, err := fl.OpenAppend(path)
+	if err != nil {
+		t.Fatalf("open append: %v", err)
+	}
+	if _, err := io.WriteString(f, "record"); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+	f.Close()
+	if fl.AppendSyncs != 1 {
+		t.Fatalf("AppendSyncs = %d, want 1", fl.AppendSyncs)
+	}
+	// The plain-write path is unaffected: atomic checkpoint writes stay
+	// healthy while the WAL is faulted.
+	other := filepath.Join(filepath.Dir(path), "ck.json")
+	if err := WriteFileAtomic(fl, other, func(w io.Writer) error {
+		_, err := io.WriteString(w, "{}")
+		return err
+	}); err != nil {
+		t.Fatalf("atomic write through append-faulted FS: %v", err)
+	}
+}
+
+func TestFaultsAppendSyncGateStalls(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.seg")
+	fl := NewFaults()
+	gate := make(chan struct{})
+	fl.AppendSyncGate = gate
+	f, err := fl.OpenAppend(path)
+	if err != nil {
+		t.Fatalf("open append: %v", err)
+	}
+	if _, err := io.WriteString(f, "record"); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Sync() }()
+	select {
+	case err := <-done:
+		t.Fatalf("sync returned %v before the gate opened", err)
+	default:
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("sync after gate: %v", err)
+	}
+	f.Close()
+}
+
+func TestFaultsFailOpenAppendAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.seg")
+	fl := NewFaults()
+	fl.FailOpenAppend = true
+	if _, err := fl.OpenAppend(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open append = %v, want ErrInjected", err)
+	}
+	fl.FailOpenAppend = false
+	f, err := fl.OpenAppend(path)
+	if err != nil {
+		t.Fatalf("open append: %v", err)
+	}
+	if _, err := io.WriteString(f, "0123456789"); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	f.Close()
+	fl.FailTruncate = true
+	if err := fl.Truncate(path, 4); !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncate = %v, want ErrInjected", err)
+	}
+	fl.FailTruncate = false
+	if err := fl.Truncate(path, 4); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if got := readFile(t, path); got != "0123" {
+		t.Fatalf("truncated = %q, want 0123", got)
+	}
+}
+
+func TestTearTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.seg")
+	f, err := (OS{}).OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(f, "0123456789"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := TearTail(path, 4); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+	if got := readFile(t, path); got != "012345" {
+		t.Fatalf("torn = %q, want 012345", got)
+	}
+	// Tearing more than the file holds empties it rather than erroring.
+	if err := TearTail(path, 100); err != nil {
+		t.Fatalf("over-tear: %v", err)
+	}
+	if got := readFile(t, path); got != "" {
+		t.Fatalf("over-torn = %q, want empty", got)
+	}
+}

@@ -38,6 +38,21 @@ type FS interface {
 	Remove(name string) error
 }
 
+// AppendFS extends FS with the operations of an append-only log writer:
+// opening a file for appending (creating it if absent) and truncating a
+// file back to a known-good length after a failed append. The repo's
+// write-ahead log (internal/ingest) writes through this seam so tests can
+// inject short appends, fsync failures and fsync stalls.
+type AppendFS interface {
+	FS
+	// OpenAppend opens name for appending, creating it if necessary
+	// (as os.OpenFile with O_CREATE|O_WRONLY|O_APPEND).
+	OpenAppend(name string) (File, error)
+	// Truncate cuts name to size bytes (as os.Truncate); an append-log
+	// writer uses it to discard a torn tail before appending again.
+	Truncate(name string, size int64) error
+}
+
 // OS is the passthrough FS backed by the real operating system.
 type OS struct{}
 
@@ -49,6 +64,32 @@ func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newp
 
 // Remove implements FS via os.Remove.
 func (OS) Remove(name string) error { return os.Remove(name) }
+
+// OpenAppend implements AppendFS via os.OpenFile.
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Truncate implements AppendFS via os.Truncate.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// TearTail truncates the final n bytes off path, producing on disk
+// exactly what power loss mid-append leaves behind: a length-prefixed
+// record whose payload (or CRC trailer) never fully landed. Chaos tests
+// use it to tear a write-ahead-log segment after the writer has exited;
+// the torn-file *writer* knobs (ShortAppendAfter) produce the same shape
+// in-process. Tearing more bytes than the file holds empties it.
+func TearTail(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
 
 // WriteFileAtomic writes a file so that path always holds either its
 // previous contents or the complete new contents, never a torn mix:

@@ -39,17 +39,45 @@ type Faults struct {
 	TornRename      bool
 	TearTargetBytes int // >0: rename installs only this many bytes at the target
 
-	Creates int // temp files created
-	Renames int // renames attempted
-	Removes int // removals attempted (cleanup)
+	// Append-path knobs, simulating the ways an append-only log write
+	// dies. They apply only to files opened through OpenAppend, so a
+	// test can fault the WAL while checkpoint writes stay healthy:
+	//
+	//   - FailOpenAppend: the segment cannot be opened at all.
+	//   - ShortAppendAfter: appends succeed for the first N bytes and
+	//     then fail mid-record, leaving a torn tail on disk — the
+	//     producer of exactly the truncated-record shape a crash
+	//     leaves behind.
+	//   - FailAppendSync: the append fsync reports an I/O error, i.e.
+	//     the batch was NOT made durable (set knobs before the writer
+	//     starts; Faults is not synchronized).
+	//   - AppendSyncGate: when non-nil, every append fsync blocks until
+	//     the channel is closed — a stalled disk rather than a failed
+	//     one, for testing that callers shed instead of hanging.
+	//   - FailTruncate: the torn-tail truncation after a failed append
+	//     is itself refused.
+	FailOpenAppend   bool
+	ShortAppendAfter int // <0: no limit; >=0: fail appends past this many bytes
+	FailAppendSync   bool
+	AppendSyncGate   chan struct{}
+	FailTruncate     bool
 
-	written int
+	Creates     int // temp files created
+	Renames     int // renames attempted
+	Removes     int // removals attempted (cleanup)
+	OpensAppend int // append opens attempted
+	AppendSyncs int // append fsyncs attempted
+	Truncates   int // truncations attempted
+
+	written  int
+	appended int
 }
 
-// NewFaults returns a Faults with no fault armed (ShortWriteAfter
-// disabled rather than zero, which would fail the first byte).
+// NewFaults returns a Faults with no fault armed (ShortWriteAfter and
+// ShortAppendAfter disabled rather than zero, which would fail the first
+// byte).
 func NewFaults() *Faults {
-	return &Faults{ShortWriteAfter: -1}
+	return &Faults{ShortWriteAfter: -1, ShortAppendAfter: -1}
 }
 
 // CreateTemp implements FS.
@@ -100,6 +128,29 @@ func (fl *Faults) Remove(name string) error {
 	return OS{}.Remove(name)
 }
 
+// OpenAppend implements AppendFS, wrapping the file so the append knobs
+// (ShortAppendAfter, FailAppendSync, AppendSyncGate) apply to it.
+func (fl *Faults) OpenAppend(name string) (File, error) {
+	fl.OpensAppend++
+	if fl.FailOpenAppend {
+		return nil, errors.Join(ErrInjected, errors.New("append open refused"))
+	}
+	f, err := OS{}.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &appendFile{File: f, fl: fl}, nil
+}
+
+// Truncate implements AppendFS.
+func (fl *Faults) Truncate(name string, size int64) error {
+	fl.Truncates++
+	if fl.FailTruncate {
+		return errors.Join(ErrInjected, errors.New("truncate refused"))
+	}
+	return OS{}.Truncate(name, size)
+}
+
 // faultFile wraps a real temp file, cutting writes short and failing
 // sync according to the owning Faults.
 type faultFile struct {
@@ -128,6 +179,44 @@ func (f *faultFile) Write(p []byte) (int, error) {
 func (f *faultFile) Sync() error {
 	if f.fl.FailSync {
 		return errors.Join(ErrInjected, errors.New("sync refused"))
+	}
+	return f.File.Sync()
+}
+
+// appendFile wraps a file opened through OpenAppend, cutting appends
+// short mid-record and failing or stalling the append fsync according to
+// the owning Faults. The partial bytes of a short append DO land on disk
+// — that is the point: a torn tail a later reader must cope with.
+type appendFile struct {
+	File
+	fl *Faults
+}
+
+func (f *appendFile) Write(p []byte) (int, error) {
+	fl := f.fl
+	if fl.ShortAppendAfter >= 0 {
+		room := fl.ShortAppendAfter - fl.appended
+		if room <= 0 {
+			return 0, errors.Join(ErrInjected, io.ErrShortWrite)
+		}
+		if room < len(p) {
+			n, _ := f.File.Write(p[:room])
+			fl.appended += n
+			return n, errors.Join(ErrInjected, io.ErrShortWrite)
+		}
+	}
+	n, err := f.File.Write(p)
+	fl.appended += n
+	return n, err
+}
+
+func (f *appendFile) Sync() error {
+	f.fl.AppendSyncs++
+	if gate := f.fl.AppendSyncGate; gate != nil {
+		<-gate // a stalled disk: block until the test releases it
+	}
+	if f.fl.FailAppendSync {
+		return errors.Join(ErrInjected, errors.New("append sync refused"))
 	}
 	return f.File.Sync()
 }

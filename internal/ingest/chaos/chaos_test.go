@@ -1,0 +1,271 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"trajpattern/internal/faultio"
+	"trajpattern/internal/ingest"
+	"trajpattern/internal/obs"
+	"trajpattern/internal/testutil/leakcheck"
+)
+
+// TestKillRacingInFlightIngestLosesNoAck fires SIGKILL at a live server
+// while a client is mid-stream, so the crash races in-flight requests
+// arbitrarily: killed between fsync and response, a report may be
+// durable without its 200. The contract under that race is one-sided —
+// every acknowledged report survives the restart; anything extra in the
+// replayed windows must be a report we actually sent, in per-object
+// time order.
+func TestKillRacingInFlightIngestLosesNoAck(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	dir := t.TempDir()
+	const window = 64
+	c := startChild(t, dir, window)
+
+	sent := make(map[string]bool)
+	var acked []ingest.Record
+	for i := 0; i < 150; i++ {
+		r := ingest.Record{
+			Obj:  fmt.Sprintf("obj-%d", i%3),
+			Time: float64(i/3 + 1),
+			X:    0.01 * float64(i),
+			Y:    0.02 * float64(i),
+		}
+		sent[recKey(r)] = true
+		code, err := c.ingestRecord(r)
+		if err != nil {
+			break // the kill landed mid-request
+		}
+		if code != http.StatusOK {
+			t.Fatalf("ingest %d: status %d", i, code)
+		}
+		acked = append(acked, r)
+		if len(acked) == 25 {
+			go c.kill() // crash now, racing the sends that follow
+		}
+	}
+	if len(acked) < 25 {
+		t.Fatalf("child died after only %d acks; the kill fired too early", len(acked))
+	}
+	c.kill() // no-op if the race already delivered it
+
+	// The restarted server replays the log before flipping ready.
+	c2 := startChild(t, dir, window)
+	st := c2.status()
+	replayed := make(map[string]bool)
+	for _, ow := range st.Windows {
+		last := -1.0
+		for _, r := range ow.Records {
+			if r.Time <= last {
+				t.Fatalf("window %s out of order after replay: %+v", ow.Obj, ow.Records)
+			}
+			last = r.Time
+			key := recKey(r)
+			if !sent[key] {
+				t.Fatalf("replayed record %+v was never sent", r)
+			}
+			replayed[key] = true
+		}
+	}
+	for _, r := range acked {
+		if !replayed[recKey(r)] {
+			t.Fatalf("acknowledged record %+v lost in the crash", r)
+		}
+	}
+	// The log accepts new work where the stream left off.
+	c2.mustIngest(ingest.Record{Obj: "obj-0", Time: 1000, X: 1, Y: 1})
+}
+
+func recKey(r ingest.Record) string {
+	return fmt.Sprintf("%s|%v|%v|%v", r.Obj, r.Time, r.X, r.Y)
+}
+
+// TestCrashReplayWindowsAndTopKByteIdentical is the byte-identity leg:
+// kill a quiescent server, restart it twice over the same log, and
+// require (a) the replayed windows equal the pre-crash windows exactly
+// and (b) two independent crash-replay-remine cycles serve the same
+// top-k patterns byte for byte — replay and re-mining are deterministic
+// functions of the log.
+func TestCrashReplayWindowsAndTopKByteIdentical(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	dir := t.TempDir()
+	const window = 64
+	c := startChild(t, dir, window)
+	for i := 0; i < 12; i++ {
+		for obj := 0; obj < 2; obj++ {
+			c.mustIngest(ingest.Record{
+				Obj:  fmt.Sprintf("obj-%d", obj),
+				Time: float64(i + 1),
+				X:    0.1 * float64(i),
+				Y:    0.1 * float64(i),
+			})
+		}
+	}
+	winsBefore := c.status().Windows
+	c.kill()
+
+	c2 := startChild(t, dir, window)
+	if got := c2.status().Windows; !reflect.DeepEqual(got, winsBefore) {
+		t.Fatalf("replayed windows diverged from pre-crash windows:\n got %+v\nwant %+v", got, winsBefore)
+	}
+	c2.waitGeneration()
+	pats2 := c2.minePatterns()
+	c2.kill()
+
+	c3 := startChild(t, dir, window)
+	if got := c3.status().Windows; !reflect.DeepEqual(got, winsBefore) {
+		t.Fatalf("second replay diverged from pre-crash windows:\n got %+v\nwant %+v", got, winsBefore)
+	}
+	c3.waitGeneration()
+	if pats3 := c3.minePatterns(); !bytes.Equal(pats2, pats3) {
+		t.Fatalf("re-mined top-k not byte-identical across restarts:\n %s\n %s", pats2, pats3)
+	}
+}
+
+// TestTornTailRecordSkippedExactlyOnce crashes the server, then forges
+// what a crash mid-write leaves behind: a plausible length prefix with
+// most of its payload missing, torn onto the newest segment's tail. The
+// restart must skip exactly that one record — metered, logged — rebuild
+// windows from the acknowledged records alone, and keep accepting work.
+func TestTornTailRecordSkippedExactlyOnce(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	dir := t.TempDir()
+	const window = 16
+	c := startChild(t, dir, window)
+	var want []ingest.Record
+	for i := 1; i <= 6; i++ {
+		r := ingest.Record{Obj: "obj-0", Time: float64(i), X: float64(i), Y: -float64(i)}
+		c.mustIngest(r)
+		r.Seq = uint64(i) // sequential single-client sends: seq i is certain
+		want = append(want, r)
+	}
+	c.kill()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tear [9]byte
+	binary.LittleEndian.PutUint32(tear[:4], 40) // a believable record length, payload cut short
+	if _, err := f.Write(tear[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := startChild(t, dir, window) // becoming ready proves replay tolerated the tear
+	st := c2.status()
+	if st.Stats == nil || st.Stats.TornSkipped != 1 {
+		t.Fatalf("stats after torn-tail replay = %+v, want exactly 1 torn record skipped", st.Stats)
+	}
+	expect := ingest.NewWindows(ingest.WindowLimits{MaxRecords: window})
+	for _, r := range want {
+		expect.Apply(r)
+	}
+	if !reflect.DeepEqual(st.Windows, expect.Snapshot()) {
+		t.Fatalf("windows after torn-tail replay:\n got %+v\nwant %+v", st.Windows, expect.Snapshot())
+	}
+	// The tail was truncated back to the last good record: the torn seq
+	// slot is reused and new ingests land cleanly.
+	c2.mustIngest(ingest.Record{Obj: "obj-0", Time: 100, X: 0, Y: 0})
+	if st := c2.status(); st.Stats.Records != len(want)+1 {
+		t.Fatalf("post-repair ingest not applied: %+v", st.Stats)
+	}
+}
+
+// TestStalledFsyncShedsThenReplayKeepsEveryAck pins the ingest pipeline
+// against a disk whose fsync hangs: acknowledgements stall, the bounded
+// queue fills, and further traffic is shed with a typed overload error
+// rather than queued unboundedly. When the disk recovers, every stalled
+// report commits and is acknowledged — and a replay over the log sees
+// exactly the acknowledged reports, never the shed one.
+func TestStalledFsyncShedsThenReplayKeepsEveryAck(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	dir := t.TempDir()
+	fl := faultio.NewFaults()
+	gate := make(chan struct{})
+	fl.AppendSyncGate = gate
+	reg := obs.New()
+	p, err := ingest.Open(ingest.Config{
+		WAL: ingest.WALConfig{Dir: dir, FS: fl}, QueueDepth: 2, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Report 0's group commit parks inside the gated fsync; 1 and 2 fill
+	// the queue behind it.
+	var wg sync.WaitGroup
+	results := make([]error, 3)
+	ingestAsync := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = p.Ingest(ctx, fmt.Sprintf("obj-%d", i), 1, 0, 0)
+		}()
+	}
+	ingestAsync(0)
+	batches := reg.Counter("ingest.batches")
+	for batches.Value() == 0 {
+		runtime.Gosched()
+	}
+	ingestAsync(1)
+	ingestAsync(2)
+	depth := reg.Gauge("ingest.queue.depth")
+	for depth.Value() < 2 {
+		runtime.Gosched()
+	}
+	var oe *ingest.OverloadError
+	if shedErr := p.Ingest(ctx, "shed-me", 1, 0, 0); !errors.As(shedErr, &oe) {
+		t.Fatalf("ingest against a stalled disk = %v, want *OverloadError", shedErr)
+	}
+
+	close(gate) // the disk recovers; the stalled commits land
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("stalled ingest %d never acknowledged: %v", i, err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Replay with a healthy filesystem: the acknowledged three, nothing else.
+	p2, err := ingest.Open(ingest.Config{WAL: ingest.WALConfig{Dir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close() //nolint:errcheck // read-only teardown
+	snap := p2.WindowSnapshot()
+	if len(snap) != 3 {
+		t.Fatalf("replayed %d objects, want the 3 acknowledged: %+v", len(snap), snap)
+	}
+	for _, ow := range snap {
+		if ow.Obj == "shed-me" {
+			t.Fatal("a shed report leaked into the log")
+		}
+		if len(ow.Records) != 1 {
+			t.Fatalf("object %s replayed %d records, want 1", ow.Obj, len(ow.Records))
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package chaos is the fault-injection harness for durable streaming
+// ingest. It holds no production code: the package's tests re-exec the
+// test binary itself as a live trajserve process (TestMain diverts to a
+// serve.Run entry point when INGESTCHAOS_CHILD=1), drive real HTTP
+// /v1/ingest traffic at it, and inject one failure mode per scenario —
+// SIGKILL racing in-flight requests, a record torn in half at the log
+// tail by the crash, a stalled fsync backing traffic up into the shed
+// path — then assert the durability contract: every acknowledged report
+// survives the restart, replay rebuilds byte-identical windows (and a
+// byte-identical mined top-k), exactly one torn tail record is skipped
+// and metered, and overload is shed with typed errors rather than lost
+// acknowledgements.
+package chaos

@@ -1,0 +1,120 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"trajpattern/internal/geom"
+	"trajpattern/internal/report"
+)
+
+// addTestdataSeeds adds every file under testdata/ matching glob as a
+// seed input, so the corpus starts from realistic on-disk and on-wire
+// shapes rather than only hand-written literals.
+func addTestdataSeeds(f *testing.F, glob string) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", glob))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatalf("no testdata seeds match %q", glob)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+}
+
+// TestFuzzSeedFramesDecode pins the recorded binary seed to the codec:
+// it must stay a valid three-record frame stream, or the fuzz corpus
+// silently stops covering the happy path.
+func TestFuzzSeedFramesDecode(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "fuzz_seed_frames.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for off := 0; off < len(data); {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			t.Fatalf("seed frame at offset %d: %v", off, err)
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	want := []Record{
+		{Seq: 1, Obj: "zebra-1", Time: 1, X: 0.25, Y: -0.5},
+		{Seq: 2, Obj: "zebra-1", Time: 2, X: 0.5, Y: -0.25},
+		{Seq: 3, Obj: "bus-9", Time: 1.5, X: 3, Y: 4},
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("seed frames decode to %+v, want %+v", recs, want)
+	}
+}
+
+// FuzzIngestRecord fuzzes both decoders a location report passes
+// through: the WAL record codec (untrusted bytes off disk after a
+// crash) and the /v1/ingest JSON body (untrusted bytes off the wire).
+// Neither may panic or over-read on any input, a successful binary
+// decode must re-encode byte-identically (replay determinism leans on
+// that), and a JSON body the validator accepts must be finite and
+// encodable.
+func FuzzIngestRecord(f *testing.F) {
+	// Seeds: recorded frames and wire bodies from testdata, a healthy
+	// frame, its torn prefixes, a corrupt flip, an impossible length,
+	// and JSON bodies good and bad.
+	addTestdataSeeds(f, "fuzz_seed_*")
+	healthy := appendRecord(nil, Record{Seq: 7, Obj: "zebra-1", Time: 3.5, X: 0.25, Y: -1.5})
+	f.Add(healthy)
+	f.Add(healthy[:len(healthy)-3])
+	f.Add(healthy[:5])
+	flipped := bytes.Clone(healthy)
+	flipped[9] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0}, 48))
+	f.Add([]byte(`{"obj":"z","time":1,"x":0.5,"y":-0.5}`))
+	f.Add([]byte(`{"obj":"","time":1e309,"x":null}`))
+	f.Add([]byte("{\"seq\":1,\"obj\":\"\x00evil\",\"time\":-0,\"x\":1e-320,\"y\":2}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := decodeRecord(data)
+		if err == nil {
+			if n < recordFrame+recordFixedPayload || n > len(data) {
+				t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+			}
+			if enc := appendRecord(nil, rec); !bytes.Equal(enc, data[:n]) {
+				t.Fatalf("decode/encode not a round trip:\n in  %x\n out %x", data[:n], enc)
+			}
+		}
+
+		var req Record
+		if json.Unmarshal(data, &req) != nil {
+			return
+		}
+		if verr := report.ValidateFix(req.Obj, req.Time, geom.Pt(req.X, req.Y)); verr != nil {
+			return
+		}
+		// Accepted by the wire validator: the record must be safely
+		// encodable into the WAL (finite floats, bounded object id).
+		if math.IsNaN(req.Time) || math.IsInf(req.Time, 0) ||
+			math.IsNaN(req.X) || math.IsInf(req.X, 0) ||
+			math.IsNaN(req.Y) || math.IsInf(req.Y, 0) {
+			t.Fatalf("validator accepted a non-finite report: %+v", req)
+		}
+		frame := appendRecord(nil, req) // must not panic on validated input
+		back, _, derr := decodeRecord(frame)
+		if derr != nil || back != req {
+			t.Fatalf("validated report did not survive the WAL codec: %+v -> %+v (%v)", req, back, derr)
+		}
+	})
+}

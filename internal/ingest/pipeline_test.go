@@ -1,0 +1,278 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"trajpattern/internal/faultio"
+	"trajpattern/internal/obs"
+	"trajpattern/internal/report"
+	"trajpattern/internal/testutil/leakcheck"
+)
+
+func openPipeline(t *testing.T, cfg Config) *Pipeline {
+	t.Helper()
+	if cfg.WAL.Dir == "" {
+		cfg.WAL.Dir = t.TempDir()
+	}
+	p, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open pipeline: %v", err)
+	}
+	return p
+}
+
+func TestPipelineIngestToDurableWindow(t *testing.T) {
+	defer leakcheck.Check(t)()
+	dir := t.TempDir()
+	reg := obs.New()
+	p := openPipeline(t, Config{WAL: WALConfig{Dir: dir}, Metrics: reg})
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		if err := p.Ingest(ctx, "zebra", float64(i), float64(i), -float64(i)); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	st := p.Stats()
+	if st.LastSeq != 5 || st.Records != 5 || st.Objects != 1 || st.Failed {
+		t.Fatalf("stats = %+v", st)
+	}
+	snap := p.WindowSnapshot()
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if reg.Snapshot().Counters["ingest.accepted"] != 5 {
+		t.Fatalf("accepted counter = %v", reg.Snapshot().Counters)
+	}
+
+	// A restart replays to the byte-identical windows.
+	p2 := openPipeline(t, Config{WAL: WALConfig{Dir: dir}})
+	defer p2.Close()
+	if got := p2.WindowSnapshot(); !reflect.DeepEqual(got, snap) {
+		t.Fatalf("replayed windows %+v,\nwant %+v", got, snap)
+	}
+	if st := p2.Stats(); st.Replayed != 5 {
+		t.Fatalf("Replayed = %d, want 5", st.Replayed)
+	}
+}
+
+func TestPipelineRejectsInvalidAndOutOfOrder(t *testing.T) {
+	defer leakcheck.Check(t)()
+	reg := obs.New()
+	p := openPipeline(t, Config{Metrics: reg})
+	defer p.Close()
+	ctx := context.Background()
+
+	var ve *report.ValidationError
+	if err := p.Ingest(ctx, "", 1, 0, 0); !errors.As(err, &ve) {
+		t.Fatalf("empty obj err = %v, want *ValidationError", err)
+	}
+	if err := p.Ingest(ctx, "z", 5, 1, 1); err != nil {
+		t.Fatalf("first report: %v", err)
+	}
+	var oe *report.OrderError
+	if err := p.Ingest(ctx, "z", 5, 2, 2); !errors.As(err, &oe) {
+		t.Fatalf("equal-time err = %v, want *OrderError", err)
+	}
+	if err := p.Ingest(ctx, "z", 4, 2, 2); !errors.As(err, &oe) {
+		t.Fatalf("regression err = %v, want *OrderError", err)
+	}
+	// Other objects are unaffected; order is per object.
+	if err := p.Ingest(ctx, "y", 1, 0, 0); err != nil {
+		t.Fatalf("other object: %v", err)
+	}
+	c := reg.Snapshot().Counters
+	if c["ingest.rejected.validation"] != 1 || c["ingest.rejected.order"] != 2 || c["ingest.accepted"] != 2 {
+		t.Fatalf("counters = %v", c)
+	}
+	// Rejected reports never reached the WAL.
+	if p.Stats().LastSeq != 2 {
+		t.Fatalf("LastSeq = %d, want 2", p.Stats().LastSeq)
+	}
+}
+
+func TestPipelineShedsWhenQueueFull(t *testing.T) {
+	defer leakcheck.Check(t)()
+	dir := t.TempDir()
+	fl := faultio.NewFaults()
+	gate := make(chan struct{})
+	fl.AppendSyncGate = gate
+	reg := obs.New()
+	p := openPipeline(t, Config{
+		WAL: WALConfig{Dir: dir, FS: fl}, QueueDepth: 2, Metrics: reg,
+	})
+	ctx := context.Background()
+
+	// One report goes durable-in-flight (its fsync blocks on the gate);
+	// two more fill the queue; the next is shed with a typed 429 cause.
+	var wg sync.WaitGroup
+	results := make([]error, 3)
+	ingestAsync := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = p.Ingest(ctx, fmt.Sprintf("obj-%d", i), 1, 0, 0)
+		}()
+	}
+	ingestAsync(0)
+	// Wait until report 0's commit started (it will park at the gated
+	// fsync without touching the queue again), then fill the queue.
+	batches := reg.Counter("ingest.batches")
+	for batches.Value() == 0 {
+		runtime.Gosched()
+	}
+	ingestAsync(1)
+	ingestAsync(2)
+	depth := reg.Gauge("ingest.queue.depth")
+	for depth.Value() < 2 {
+		runtime.Gosched()
+	}
+	// Queue full, committer parked: the next report is shed, typed.
+	shedErr := p.Ingest(ctx, "shed-me", 1, 0, 0)
+	var oe *OverloadError
+	if !errors.As(shedErr, &oe) {
+		t.Fatalf("ingest into full queue = %v, want *OverloadError", shedErr)
+	}
+	if oe.Depth != 2 {
+		t.Errorf("OverloadError depth = %d, want 2", oe.Depth)
+	}
+	close(gate) // disk recovers; everything queued commits
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("queued ingest %d failed: %v", i, err)
+		}
+	}
+	if reg.Snapshot().Counters["ingest.shed.overload"] == 0 {
+		t.Fatal("overload shed not metered")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestPipelineFailedFsyncRefusesWith503Cause(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fl := faultio.NewFaults()
+	reg := obs.New()
+	p := openPipeline(t, Config{WAL: WALConfig{Dir: t.TempDir(), FS: fl}, Metrics: reg})
+	defer p.Close()
+	ctx := context.Background()
+	if err := p.Ingest(ctx, "z", 1, 0, 0); err != nil {
+		t.Fatalf("healthy ingest: %v", err)
+	}
+	fl.FailAppendSync = true
+	var ue *UnavailableError
+	if err := p.Ingest(ctx, "z", 2, 0, 0); !errors.As(err, &ue) {
+		t.Fatalf("ingest over failed fsync = %v, want *UnavailableError", err)
+	}
+	// The WAL is poisoned for good: later ingests refuse even after the
+	// fault clears, and the stats say so.
+	fl.FailAppendSync = false
+	if err := p.Ingest(ctx, "z", 3, 0, 0); !errors.As(err, &ue) {
+		t.Fatalf("ingest after poison = %v, want *UnavailableError", err)
+	}
+	if st := p.Stats(); !st.Failed {
+		t.Fatalf("stats = %+v, want Failed", st)
+	}
+	if reg.Snapshot().Counters["ingest.shed.unavailable"] != 2 {
+		t.Fatalf("unavailable counter = %v", reg.Snapshot().Counters)
+	}
+}
+
+func TestPipelineCloseRefusesLateIngest(t *testing.T) {
+	defer leakcheck.Check(t)()
+	p := openPipeline(t, Config{})
+	if err := p.Ingest(context.Background(), "z", 1, 0, 0); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var ue *UnavailableError
+	if err := p.Ingest(context.Background(), "z", 2, 0, 0); !errors.As(err, &ue) || !errors.Is(err, ErrClosed) {
+		t.Fatalf("ingest after close = %v, want UnavailableError(ErrClosed)", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestPipelineConcurrentIngestDurableAndOrdered(t *testing.T) {
+	defer leakcheck.Check(t)()
+	dir := t.TempDir()
+	var applied atomic.Int64
+	p := openPipeline(t, Config{
+		WAL:     WALConfig{Dir: dir},
+		Limits:  WindowLimits{MaxRecords: 64},
+		OnApply: func(n int) { applied.Add(int64(n)) },
+	})
+	ctx := context.Background()
+	const objects, perObject = 8, 40
+	var wg sync.WaitGroup
+	for o := 0; o < objects; o++ {
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			obj := fmt.Sprintf("obj-%d", o)
+			for i := 0; i < perObject; i++ {
+				// Per-object times increase, so every report is in
+				// order no matter how the objects interleave.
+				if err := p.Ingest(ctx, obj, float64(i), float64(i), float64(o)); err != nil {
+					t.Errorf("ingest %s/%d: %v", obj, i, err)
+					return
+				}
+			}
+		}(o)
+	}
+	wg.Wait()
+	if got := applied.Load(); got != objects*perObject {
+		t.Fatalf("OnApply saw %d records, want %d", got, objects*perObject)
+	}
+	snap := p.WindowSnapshot()
+	if len(snap) != objects {
+		t.Fatalf("%d objects in windows, want %d", len(snap), objects)
+	}
+	for _, ow := range snap {
+		for i := 1; i < len(ow.Records); i++ {
+			if ow.Records[i].Time <= ow.Records[i-1].Time {
+				t.Fatalf("object %s window out of order at %d", ow.Obj, i)
+			}
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Restart: replay must converge to the identical windows.
+	p2 := openPipeline(t, Config{WAL: WALConfig{Dir: dir}, Limits: WindowLimits{MaxRecords: 64}})
+	defer p2.Close()
+	if got := p2.WindowSnapshot(); !reflect.DeepEqual(got, snap) {
+		t.Fatal("replayed windows differ from pre-crash windows")
+	}
+}
+
+func TestPipelinePrunesDeadSegments(t *testing.T) {
+	defer leakcheck.Check(t)()
+	p := openPipeline(t, Config{
+		WAL:    WALConfig{Dir: t.TempDir(), SegmentBytes: 64},
+		Limits: WindowLimits{MaxRecords: 2},
+	})
+	defer p.Close()
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if err := p.Ingest(ctx, "z", float64(i), 0, 0); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	// 50 one-record commits at 64-byte segments would be ~40 segments;
+	// with only 2 records live, pruning must keep the tail short.
+	if st := p.Stats(); st.Segments > 3 {
+		t.Fatalf("segments = %d after pruning, want <= 3", st.Segments)
+	}
+}

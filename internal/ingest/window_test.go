@@ -1,0 +1,82 @@
+package ingest
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWindowCountEviction(t *testing.T) {
+	w := NewWindows(WindowLimits{MaxRecords: 3})
+	for i := 1; i <= 5; i++ {
+		w.Apply(Record{Seq: uint64(i), Obj: "z", Time: float64(i)})
+	}
+	snap := w.Snapshot()
+	if len(snap) != 1 || len(snap[0].Records) != 3 {
+		t.Fatalf("snapshot = %+v, want one object with 3 records", snap)
+	}
+	if snap[0].Records[0].Seq != 3 || snap[0].Records[2].Seq != 5 {
+		t.Fatalf("retained seqs %d..%d, want 3..5", snap[0].Records[0].Seq, snap[0].Records[2].Seq)
+	}
+	if w.Records() != 3 {
+		t.Fatalf("Records = %d, want 3", w.Records())
+	}
+}
+
+func TestWindowAgeEviction(t *testing.T) {
+	w := NewWindows(WindowLimits{MaxRecords: 100, MaxAge: 10})
+	for _, tm := range []float64{1, 2, 11, 20} {
+		w.Apply(Record{Obj: "z", Time: tm})
+	}
+	snap := w.Snapshot()
+	// Horizon is 20-10=10: records at 1 and 2 age out; 11 and 20 stay.
+	times := []float64{snap[0].Records[0].Time, snap[0].Records[1].Time}
+	if len(snap[0].Records) != 2 || !reflect.DeepEqual(times, []float64{11, 20}) {
+		t.Fatalf("retained times %v, want [11 20]", times)
+	}
+	// The newest record always survives, even alone past the horizon.
+	w.Apply(Record{Obj: "z", Time: 1000})
+	if snap := w.Snapshot(); len(snap[0].Records) != 1 || snap[0].Records[0].Time != 1000 {
+		t.Fatalf("after far-future report: %+v, want only it retained", snap)
+	}
+}
+
+func TestWindowMinLiveSeqAndLastTime(t *testing.T) {
+	w := NewWindows(WindowLimits{MaxRecords: 2})
+	if _, ok := w.MinLiveSeq(); ok {
+		t.Fatal("empty windows reported a live seq")
+	}
+	if _, ok := w.LastTime("z"); ok {
+		t.Fatal("empty windows reported a last time")
+	}
+	w.Apply(Record{Seq: 1, Obj: "a", Time: 1})
+	w.Apply(Record{Seq: 2, Obj: "b", Time: 1})
+	w.Apply(Record{Seq: 3, Obj: "a", Time: 2})
+	w.Apply(Record{Seq: 4, Obj: "a", Time: 3}) // evicts seq 1
+	if min, ok := w.MinLiveSeq(); !ok || min != 2 {
+		t.Fatalf("MinLiveSeq = %d/%v, want 2", min, ok)
+	}
+	if last, ok := w.LastTime("a"); !ok || last != 3 {
+		t.Fatalf("LastTime(a) = %v/%v, want 3", last, ok)
+	}
+	if w.Objects() != 2 {
+		t.Fatalf("Objects = %d, want 2", w.Objects())
+	}
+}
+
+// TestWindowSnapshotDeterministic: same record sequence, same snapshot —
+// the property replay convergence rests on.
+func TestWindowSnapshotDeterministic(t *testing.T) {
+	build := func() []ObjectWindow {
+		w := NewWindows(WindowLimits{MaxRecords: 4, MaxAge: 50})
+		for i := 0; i < 200; i++ {
+			w.Apply(Record{
+				Seq: uint64(i + 1), Obj: string(rune('a' + i%7)),
+				Time: float64(i), X: float64(i) * 0.5, Y: -float64(i),
+			})
+		}
+		return w.Snapshot()
+	}
+	if !reflect.DeepEqual(build(), build()) {
+		t.Fatal("two identical applications produced different snapshots")
+	}
+}

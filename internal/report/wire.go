@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"trajpattern/internal/geom"
+)
+
+// MaxObjectIDLen bounds the object identifier accepted on the ingest
+// wire. Long IDs are almost certainly garbage (or an attack on the WAL's
+// record framing, which encodes the ID length in two bytes), so the
+// bound is generous for real fleets and tiny against both.
+const MaxObjectIDLen = 128
+
+// ValidationError is the typed, path-annotated rejection of one wire
+// report field: Field names the offending JSON path ("loc.x", "time",
+// "obj"), mirroring the path:line annotations the trajectory IO
+// hardening gave file decoders. The ingest layer maps it to 400.
+type ValidationError struct {
+	// Field is the JSON path of the rejected field.
+	Field string
+	// Msg says what was wrong with it.
+	Msg string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if e == nil {
+		return "report: invalid report"
+	}
+	return fmt.Sprintf("report: invalid field %s: %s", e.Field, e.Msg)
+}
+
+// OrderError is the typed rejection of an out-of-order per-object
+// report: the dead-reckoning model (§3.1) consumes each object's fixes
+// in strictly increasing time order, and the ingest windows rely on that
+// invariant for deterministic eviction. The ingest layer maps it to 400.
+type OrderError struct {
+	// Obj is the reporting object.
+	Obj string
+	// Prev is the object's last accepted report time; Got the rejected
+	// report's time (Got <= Prev).
+	Prev, Got float64
+}
+
+// Error implements error.
+func (e *OrderError) Error() string {
+	if e == nil {
+		return "report: out-of-order report"
+	}
+	return fmt.Sprintf("report: out-of-order report for object %q: time %v is not after the last accepted %v",
+		e.Obj, e.Got, e.Prev)
+}
+
+// ValidateFix checks one wire report structurally: a usable object ID
+// (non-empty, at most MaxObjectIDLen bytes, no control characters) and
+// finite time and coordinates. NaN and ±Inf are rejected outright — a
+// single poisoned float would propagate through dead reckoning into
+// every probability downstream, the same failure mode the trajectory
+// file decoders were hardened against. The returned error is always a
+// *ValidationError.
+func ValidateFix(obj string, t float64, loc geom.Point) error {
+	switch {
+	case obj == "":
+		return &ValidationError{Field: "obj", Msg: "must not be empty"}
+	case len(obj) > MaxObjectIDLen:
+		return &ValidationError{Field: "obj", Msg: fmt.Sprintf("exceeds %d bytes (got %d)", MaxObjectIDLen, len(obj))}
+	case strings.ContainsFunc(obj, func(r rune) bool { return r < 0x20 || r == 0x7f }):
+		return &ValidationError{Field: "obj", Msg: "contains control characters"}
+	case math.IsNaN(t):
+		return &ValidationError{Field: "time", Msg: "is NaN"}
+	case math.IsInf(t, 0):
+		return &ValidationError{Field: "time", Msg: fmt.Sprintf("is not finite (%v)", t)}
+	case math.IsNaN(loc.X) || math.IsInf(loc.X, 0):
+		return &ValidationError{Field: "loc.x", Msg: fmt.Sprintf("is not finite (%v)", loc.X)}
+	case math.IsNaN(loc.Y) || math.IsInf(loc.Y, 0):
+		return &ValidationError{Field: "loc.y", Msg: fmt.Sprintf("is not finite (%v)", loc.Y)}
+	}
+	return nil
+}
+
+// CheckOrder enforces strictly increasing per-object report times: given
+// an object's last accepted time prev, a new report at got must satisfy
+// got > prev. hasPrev is false for the object's first report, which is
+// always in order. The returned error is always an *OrderError.
+func CheckOrder(obj string, prev, got float64, hasPrev bool) error {
+	if hasPrev && got <= prev {
+		return &OrderError{Obj: obj, Prev: prev, Got: got}
+	}
+	return nil
+}

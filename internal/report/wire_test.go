@@ -1,0 +1,104 @@
+package report
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"trajpattern/internal/geom"
+)
+
+func TestValidateFixTable(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name  string
+		obj   string
+		time  float64
+		loc   geom.Point
+		field string // "" means accept
+	}{
+		{name: "valid", obj: "zebra-1", time: 1.5, loc: geom.Pt(2, 3)},
+		{name: "valid negative time", obj: "z", time: -10, loc: geom.Pt(0, 0)},
+		{name: "valid max-length obj", obj: strings.Repeat("a", MaxObjectIDLen), time: 0, loc: geom.Pt(0, 0)},
+		{name: "empty obj", obj: "", time: 1, loc: geom.Pt(0, 0), field: "obj"},
+		{name: "oversized obj", obj: strings.Repeat("a", MaxObjectIDLen+1), time: 1, loc: geom.Pt(0, 0), field: "obj"},
+		{name: "newline in obj", obj: "ze\nbra", time: 1, loc: geom.Pt(0, 0), field: "obj"},
+		{name: "NUL in obj", obj: "ze\x00bra", time: 1, loc: geom.Pt(0, 0), field: "obj"},
+		{name: "DEL in obj", obj: "ze\x7fbra", time: 1, loc: geom.Pt(0, 0), field: "obj"},
+		{name: "NaN time", obj: "z", time: nan, loc: geom.Pt(0, 0), field: "time"},
+		{name: "+Inf time", obj: "z", time: inf, loc: geom.Pt(0, 0), field: "time"},
+		{name: "-Inf time", obj: "z", time: -inf, loc: geom.Pt(0, 0), field: "time"},
+		{name: "NaN x", obj: "z", time: 1, loc: geom.Pt(nan, 0), field: "loc.x"},
+		{name: "Inf x", obj: "z", time: 1, loc: geom.Pt(inf, 0), field: "loc.x"},
+		{name: "NaN y", obj: "z", time: 1, loc: geom.Pt(0, nan), field: "loc.y"},
+		{name: "-Inf y", obj: "z", time: 1, loc: geom.Pt(0, -inf), field: "loc.y"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateFix(tc.obj, tc.time, tc.loc)
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("ValidateFix rejected a valid report: %v", err)
+				}
+				return
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error %v (%T), want *ValidationError", err, err)
+			}
+			if ve.Field != tc.field {
+				t.Fatalf("rejected field %q, want %q (err: %v)", ve.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+func TestCheckOrderTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		prev    float64
+		got     float64
+		hasPrev bool
+		reject  bool
+	}{
+		{name: "first report always in order", prev: 0, got: -100, hasPrev: false},
+		{name: "strictly increasing", prev: 1, got: 2, hasPrev: true},
+		{name: "equal time rejected", prev: 2, got: 2, hasPrev: true, reject: true},
+		{name: "regression rejected", prev: 5, got: 4.5, hasPrev: true, reject: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckOrder("obj-1", tc.prev, tc.got, tc.hasPrev)
+			if !tc.reject {
+				if err != nil {
+					t.Fatalf("CheckOrder rejected an in-order report: %v", err)
+				}
+				return
+			}
+			var oe *OrderError
+			if !errors.As(err, &oe) {
+				t.Fatalf("error %v (%T), want *OrderError", err, err)
+			}
+			if oe.Obj != "obj-1" || oe.Prev != tc.prev || oe.Got != tc.got {
+				t.Fatalf("OrderError fields = %+v, want obj-1/%v/%v", oe, tc.prev, tc.got)
+			}
+		})
+	}
+}
+
+func TestWireErrorMessagesCarryPaths(t *testing.T) {
+	err := ValidateFix("z", math.NaN(), geom.Pt(0, 0))
+	if !strings.Contains(err.Error(), "time") {
+		t.Fatalf("ValidationError message %q does not name the field", err)
+	}
+	oerr := CheckOrder("zebra-7", 9, 3, true)
+	msg := oerr.Error()
+	if !strings.Contains(msg, "zebra-7") || !strings.Contains(msg, "9") || !strings.Contains(msg, "3") {
+		t.Fatalf("OrderError message %q does not carry object and times", msg)
+	}
+	// Nil typed errors still produce usable messages (nilguard contract).
+	if (*ValidationError)(nil).Error() == "" || (*OrderError)(nil).Error() == "" {
+		t.Fatal("nil error receivers must still describe themselves")
+	}
+}

@@ -166,6 +166,23 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 		"listening", slog.String("addr", ln.Addr().String()),
 		slog.Int("trajectories", len(ds)),
 		slog.Int("grid_nx", srv.grid.NX()), slog.Int("grid_ny", srv.grid.NY()))
+
+	// Streaming ingest starts after the listener is up but before the
+	// ready callback: a restarted process accepts connections right away
+	// (probes see 503 "replaying", not connection-refused) and flips
+	// /readyz only once the WAL is replayed and the windows rebuilt.
+	if cfg.IngestWALDir != "" {
+		if err := srv.StartIngest(); err != nil {
+			ln.Close() //nolint:errcheck // listener teardown on startup failure
+			<-serveErr
+			return err
+		}
+		st := srv.ingestPipe.Stats()
+		notice(fmt.Sprintf("trajserve: ingest ready (replayed %d records, %d objects, wal %s)",
+			st.Replayed, st.Objects, cfg.IngestWALDir),
+			"ingest ready", slog.Int("replayed", st.Replayed),
+			slog.Int("objects", st.Objects), slog.String("wal", cfg.IngestWALDir))
+	}
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -173,6 +190,9 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 	select {
 	case err := <-serveErr:
 		// The listener died on its own — a bind/accept fault, not a drain.
+		if serr := srv.StopIngest(); serr != nil {
+			notice(fmt.Sprintf("trajserve: ingest close: %v", serr), "ingest close failed", slogx.Err(serr))
+		}
 		return fmt.Errorf("serve: listener failed: %w", err)
 	case <-ctx.Done():
 	}
@@ -201,6 +221,13 @@ func Run(ctx context.Context, o Options, ready func(addr string)) error {
 		}
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed by now
+
+	// Ingest stops after the HTTP drain: every in-flight /v1/ingest has
+	// its acknowledgement by now, the final group commit lands, and the
+	// re-mining loop exits before the process does.
+	if err := srv.StopIngest(); err != nil {
+		notice(fmt.Sprintf("trajserve: ingest close: %v", err), "ingest close failed", slogx.Err(err))
+	}
 
 	// Flush observability state so an interrupted run still leaves its
 	// records behind (mirrors the CLIs' behaviour on SIGINT).

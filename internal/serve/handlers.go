@@ -119,6 +119,9 @@ type MineResponse struct {
 	Iterations      int                 `json:"iterations"`
 	Candidates      int                 `json:"candidates"`
 	Shards          int                 `json:"shards,omitempty"`
+	// Generation, when positive, marks an answer served from the
+	// streaming-ingest re-mining loop rather than mined on demand.
+	Generation int `json:"generation,omitempty"`
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -126,6 +129,33 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if err := readJSON(r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
+	}
+	// An ingest-enabled server mines continuously and serves
+	// best-so-far: once the re-mining loop has completed a generation,
+	// /v1/mine answers from it immediately — flagged degraded while a
+	// newer generation is still being mined — instead of re-running the
+	// search in the request path. Before the first generation (or with
+	// ingest off) the on-demand path below still applies.
+	if s.ingestEnabled() {
+		if gen := s.generation(); gen.Generation > 0 {
+			mining := s.remineBusy.Load()
+			resp := MineResponse{
+				Patterns:        make([]ScoredPatternJSON, len(gen.Patterns)),
+				Degraded:        gen.Degraded || mining,
+				InterruptReason: gen.InterruptReason,
+				Iterations:      gen.Iterations,
+				Candidates:      gen.Candidates,
+				Generation:      gen.Generation,
+			}
+			if mining && resp.InterruptReason == "" {
+				resp.InterruptReason = "re-mine in flight; serving previous generation"
+			}
+			for i, sp := range gen.Patterns {
+				resp.Patterns[i] = ScoredPatternJSON{Cells: sp.Pattern, NM: sp.NM}
+			}
+			writeJSON(w, resp)
+			return
+		}
 	}
 	wall := s.cfg.MaxMineWallTime
 	if req.MaxWallMS > 0 {
@@ -352,13 +382,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz reports whether the server accepts new work: 503 once
 // draining starts, so load balancers stop routing here before the
-// listener closes.
+// listener closes, and 503 while an ingest-enabled server is still
+// replaying its WAL — a process that has not rebuilt its history yet
+// must not take traffic it would mis-order.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.admission.Draining() {
+	notReady := func(reason string) {
 		retryAfterHeader(w, s.cfg.RetryAfter)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": "draining"})
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reason": reason})
+	}
+	if s.admission.Draining() {
+		notReady("draining")
+		return
+	}
+	if s.ingestEnabled() && !s.ingestReady.Load() {
+		notReady("replaying")
 		return
 	}
 	writeJSON(w, map[string]any{

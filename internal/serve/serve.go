@@ -12,11 +12,14 @@
 //	POST /v1/score    score submitted patterns by normalized match
 //	POST /v1/mine     bounded top-k mining; partial answers are 200+degraded
 //	POST /v1/predict  pattern-assisted next-position prediction
+//	POST /v1/ingest   durable streaming ingest (WAL-backed; see ingest.go)
+//	GET  /v1/ingest/status  pipeline and re-mining generation state
 //	GET  /healthz     process liveness
-//	GET  /readyz      admission state (503 while draining)
+//	GET  /readyz      admission state (503 while draining or replaying)
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,6 +35,7 @@ import (
 	"trajpattern/internal/core"
 	"trajpattern/internal/core/shard"
 	"trajpattern/internal/grid"
+	"trajpattern/internal/ingest"
 	"trajpattern/internal/obs"
 	"trajpattern/internal/obs/slogx"
 	"trajpattern/internal/serve/guard"
@@ -108,6 +112,38 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies. Zero means DefaultMaxBodySize.
 	MaxBodyBytes int64
 
+	// IngestWALDir, when non-empty, enables durable streaming ingest:
+	// POST /v1/ingest appends reports to a segmented write-ahead log in
+	// this directory, feeds per-object sliding windows, and triggers
+	// incremental re-mining. On restart the WAL is replayed — and the
+	// windows rebuilt byte-identically — before /readyz reports ready.
+	IngestWALDir string
+	// IngestWindow caps each object's sliding window in records. Zero
+	// means ingest.DefaultMaxRecords.
+	IngestWindow int
+	// IngestMaxAge evicts window records older than this many time units
+	// behind the object's newest report. Zero means no age bound.
+	IngestMaxAge float64
+	// IngestFsyncEvery caps how many reports one WAL group commit
+	// covers. Zero means ingest.DefaultFsyncEvery.
+	IngestFsyncEvery int
+	// IngestQueueDepth bounds the ingest accept queue; a full queue
+	// sheds with 429. Zero means ingest.DefaultQueueDepth.
+	IngestQueueDepth int
+	// IngestDeadline bounds one /v1/ingest request. Zero means
+	// DefaultDeadline; negative disables.
+	IngestDeadline time.Duration
+	// IngestMineK is the top-k size the re-mining loop asks for. Zero
+	// means DefaultIngestMineK.
+	IngestMineK int
+	// IngestSyncInterval, IngestSyncCount, IngestSyncU and IngestSyncC
+	// define the snapshot schedule the re-mining loop superimposes on
+	// the windowed reports (traj.SyncConfig). Zeros mean 1, 16, 1, 2.
+	IngestSyncInterval float64
+	IngestSyncCount    int
+	IngestSyncU        float64
+	IngestSyncC        float64
+
 	// Metrics, when non-nil, receives service instrumentation
 	// ("serve.*" names) alongside the scorer's and miner's own counters.
 	Metrics *obs.Registry
@@ -160,11 +196,33 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = DefaultMaxBodySize
 	}
+	if c.IngestDeadline == 0 {
+		c.IngestDeadline = DefaultDeadline
+	}
+	if c.IngestMineK <= 0 {
+		c.IngestMineK = DefaultIngestMineK
+	}
+	if c.IngestSyncInterval <= 0 {
+		c.IngestSyncInterval = 1
+	}
+	if c.IngestSyncCount <= 0 {
+		c.IngestSyncCount = 16
+	}
+	if c.IngestSyncU <= 0 {
+		c.IngestSyncU = 1
+	}
+	if c.IngestSyncC <= 0 {
+		c.IngestSyncC = 2
+	}
 	if c.Log == nil {
 		c.Log = io.Discard
 	}
 	return c
 }
+
+// DefaultIngestMineK is the top-k the re-mining loop maintains when
+// IngestMineK is left zero.
+const DefaultIngestMineK = 8
 
 // Server is the trajserve request handler: the scorer and grid are built
 // once at construction, every route is wrapped in the guard middleware
@@ -181,6 +239,18 @@ type Server struct {
 
 	mu       sync.RWMutex
 	patterns []core.ScoredPattern // latest mined or preloaded patterns
+
+	// Streaming-ingest state (nil/zero unless IngestWALDir is set; see
+	// ingest.go). The pipeline exists only between StartIngest and
+	// StopIngest; ingestReady gates both /v1/ingest and /readyz.
+	ingestPipe  *ingest.Pipeline
+	ingestReady atomic.Bool
+	remineC     chan struct{}
+	remineStop  context.CancelFunc
+	remineDone  chan struct{}
+	remineBusy  atomic.Bool
+	genMu       sync.Mutex
+	gen         ingestGeneration
 
 	metrics serveMetrics
 	logMu   sync.Mutex
@@ -214,7 +284,7 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 		queued:   r.Gauge("serve.queued"),
 		timer:    r.Timer("serve.request"),
 	}
-	for _, route := range []string{routeScore, routeMine, routePredict} {
+	for _, route := range []string{routeScore, routeMine, routePredict, routeIngest} {
 		m.requests[route] = r.Counter("serve.requests" + route)
 		m.latency[route] = r.Histogram("serve.latency" + route)
 	}
@@ -228,6 +298,7 @@ const (
 	routeScore   = "/v1/score"
 	routeMine    = "/v1/mine"
 	routePredict = "/v1/predict"
+	routeIngest  = "/v1/ingest"
 )
 
 // NewServer builds the scorer over cfg.Dataset and assembles the routed,
@@ -311,6 +382,12 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.ingestEnabled() {
+		s.remineC = make(chan struct{}, 1)
+		s.remineDone = make(chan struct{})
+		s.mux.Handle("POST "+routeIngest, s.guarded(routeIngest, cfg.IngestDeadline, 1, s.handleIngest))
+		s.mux.HandleFunc("GET /v1/ingest/status", s.handleIngestStatus)
+	}
 	return s, nil
 }
 

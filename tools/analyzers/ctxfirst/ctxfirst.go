@@ -52,7 +52,7 @@ var pkgs string
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs",
-		"trajpattern/internal/core,trajpattern/internal/cli,trajpattern/internal/exp,trajpattern/internal/classify,trajpattern,trajpattern/internal/serve,trajpattern/internal/serve/guard,trajpattern/internal/serve/chaos",
+		"trajpattern/internal/core,trajpattern/internal/cli,trajpattern/internal/exp,trajpattern/internal/classify,trajpattern,trajpattern/internal/serve,trajpattern/internal/serve/guard,trajpattern/internal/serve/chaos,trajpattern/internal/ingest,trajpattern/internal/ingest/chaos",
 		"comma-separated package paths (or /-suffixes) held to the context convention")
 }
 

@@ -60,7 +60,7 @@ var pkgs string
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs",
-		"trajpattern/internal/core,trajpattern/internal/core/shard,trajpattern/internal/stat,trajpattern/internal/exp,trajpattern/internal/report",
+		"trajpattern/internal/core,trajpattern/internal/core/shard,trajpattern/internal/stat,trajpattern/internal/exp,trajpattern/internal/report,trajpattern/internal/ingest",
 		"comma-separated package paths (or /-suffixes) held to the determinism contract")
 }
 

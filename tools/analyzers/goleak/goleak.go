@@ -68,7 +68,7 @@ func init() {
 		"trajpattern/internal/core/shard,trajpattern/internal/core/shard/supervisor,trajpattern/internal/core/shard/supervisor/chaos,trajpattern/internal/retry,"+
 			"trajpattern/internal/serve,trajpattern/internal/serve/guard,"+
 			"trajpattern/internal/serve/chaos,trajpattern/internal/cli,trajpattern/internal/trace,"+
-			"trajpattern/internal/obs,trajpattern/internal/obs/slogx",
+			"trajpattern/internal/obs,trajpattern/internal/obs/slogx,trajpattern/internal/ingest,trajpattern/internal/ingest/chaos",
 		"comma-separated package paths (or /-suffixes) whose goroutines must be joined")
 }
 

@@ -3,9 +3,10 @@
 # inline shell that used to live in ci.yml. Run from the repository root.
 #
 # Enforced invariants:
-#   1. The serving layer stays waiver-free: no `trajlint:allow` anywhere
-#      under internal/serve or cmd/trajserve. It was written to the
-#      analyzer contracts from day one and must stay that way.
+#   1. The serving and ingest layers stay waiver-free: no
+#      `trajlint:allow` anywhere under internal/serve, internal/ingest,
+#      or cmd/trajserve. They were written to the analyzer contracts
+#      from day one and must stay that way.
 #   2. Every waiver in shipped code carries a reason (`-- why`). The
 #      directive parser reports reason-less waivers inside analyzed
 #      packages; this check extends that to every tracked .go file, so a
@@ -26,9 +27,9 @@ KNOWN_ANALYZERS="nilguard|determinism|floatcmp|closepair|ctxfirst|atomicmix|lock
 
 fail=0
 
-# 1. serve packages are waiver-free.
-if grep -rn "trajlint:allow" internal/serve cmd/trajserve 2>/dev/null; then
-  echo "ERROR: internal/serve and cmd/trajserve must pass trajlint without waivers" >&2
+# 1. serve and ingest packages are waiver-free.
+if grep -rn "trajlint:allow" internal/serve internal/ingest cmd/trajserve 2>/dev/null; then
+  echo "ERROR: internal/serve, internal/ingest and cmd/trajserve must pass trajlint without waivers" >&2
   fail=1
 fi
 
@@ -64,4 +65,4 @@ fi
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "waiver hygiene OK: serve waiver-free, all waivers reasoned and known, x/tools pin consistent"
+echo "waiver hygiene OK: serve+ingest waiver-free, all waivers reasoned and known, x/tools pin consistent"
